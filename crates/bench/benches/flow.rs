@@ -1,0 +1,32 @@
+//! End-to-end flow benches: the Table 1 pipeline (clustering + placement
+//! + routing) for AutoNCS and the FullCro baseline on a scaled testbench.
+
+use autoncs::AutoNcs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncs_bench::SEED;
+use ncs_net::{Testbench, TestbenchSpec};
+
+fn bench_flow(c: &mut Criterion) {
+    // A half-scale testbench keeps each iteration under a second while
+    // exercising the exact Table 1 pipeline.
+    let spec = TestbenchSpec {
+        id: 90,
+        patterns: 8,
+        neurons: 160,
+        sparsity: 0.92,
+    };
+    let tb = Testbench::from_spec(spec, SEED).unwrap();
+    let framework = AutoNcs::fast();
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    group.bench_function("autoncs", |b| {
+        b.iter(|| framework.run(tb.network()).unwrap())
+    });
+    group.bench_function("fullcro", |b| {
+        b.iter(|| framework.baseline(tb.network()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

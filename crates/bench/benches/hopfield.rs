@@ -1,0 +1,47 @@
+//! Benches for the Hopfield substrate: training, sparsification, and
+//! recall at the paper's testbench scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncs_bench::SEED;
+use ncs_net::{HopfieldNetwork, PatternSet};
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopfield_train");
+    group.sample_size(10);
+    for n in [300usize, 500] {
+        let patterns = PatternSet::random_qr(n / 20, n, SEED).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &patterns, |b, p| {
+            b.iter(|| HopfieldNetwork::train(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsify(c: &mut Criterion) {
+    let patterns = PatternSet::random_qr(20, 400, SEED).unwrap();
+    let trained = HopfieldNetwork::train(&patterns).unwrap();
+    let mut group = c.benchmark_group("hopfield_sparsify");
+    group.sample_size(10);
+    group.bench_function("to_94_percent", |b| {
+        b.iter(|| {
+            let mut h = trained.clone();
+            h.sparsify_to(0.94).unwrap();
+            h
+        })
+    });
+    group.finish();
+}
+
+fn bench_recall(c: &mut Criterion) {
+    let patterns = PatternSet::random_qr(15, 300, SEED).unwrap();
+    let mut hopfield = HopfieldNetwork::train(&patterns).unwrap();
+    hopfield.sparsify_to(0.9447).unwrap();
+    let noisy = patterns.noisy_pattern(0, 0.02, 7).unwrap();
+    let mut group = c.benchmark_group("hopfield_recall");
+    group.bench_function("sync", |b| b.iter(|| hopfield.recall(&noisy, 50).unwrap()));
+    group.bench_function("async", |b| b.iter(|| hopfield.recall_async(&noisy, 50).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_train, bench_sparsify, bench_recall);
+criterion_main!(benches);

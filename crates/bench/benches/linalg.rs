@@ -1,0 +1,70 @@
+//! Benches for the numeric kernels backing MSC (the dense generalized
+//! eigensolver) and the placer (the conjugate-gradient minimizer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncs_bench::SEED;
+use ncs_cluster::spectral_embedding;
+use ncs_linalg::optimize::{minimize, CgOptions};
+use ncs_linalg::{DenseMatrix, SymmetricEigen};
+use ncs_net::generators;
+
+fn bench_symmetric_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_eigen");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut state = 1u64;
+        for i in 0..n {
+            for j in i..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| SymmetricEigen::new(a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_embedding");
+    group.sample_size(10);
+    for n in [100usize, 200] {
+        let net = generators::uniform_random(n, 0.06, SEED).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| spectral_embedding(net).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conjugate_gradient(c: &mut Criterion) {
+    c.bench_function("cg_quadratic_500d", |b| {
+        b.iter(|| {
+            minimize(
+                |x, g| {
+                    let mut v = 0.0;
+                    for i in 0..x.len() {
+                        let w = 1.0 + (i % 11) as f64;
+                        g[i] = 2.0 * w * x[i];
+                        v += w * x[i] * x[i];
+                    }
+                    v
+                },
+                (0..500).map(|i| (i as f64 * 0.31).sin()).collect(),
+                &CgOptions::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_symmetric_eigen,
+    bench_spectral_embedding,
+    bench_conjugate_gradient
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benches for the placement and routing substrate on realistic hybrid
+//! mappings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncs_bench::SEED;
+use ncs_cluster::{full_crossbar, Isc, IscOptions};
+use ncs_net::generators;
+use ncs_phys::{place, route, Netlist, PlacerOptions, RouterOptions};
+use ncs_tech::TechnologyModel;
+
+fn prepared_netlist() -> (Netlist, ncs_phys::Placement) {
+    let net = generators::planted_clusters(128, 4, 0.4, 0.01, SEED)
+        .unwrap()
+        .0;
+    let mapping = Isc::new(IscOptions {
+        seed: SEED,
+        ..IscOptions::default()
+    })
+    .run(&net)
+    .unwrap();
+    let tech = TechnologyModel::nm45();
+    let nl = Netlist::from_mapping(&mapping, &tech);
+    let p = place(&nl, &PlacerOptions::fast()).unwrap();
+    (nl, p)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let net = generators::planted_clusters(128, 4, 0.4, 0.01, SEED)
+        .unwrap()
+        .0;
+    let tech = TechnologyModel::nm45();
+    let hybrid = Isc::new(IscOptions {
+        seed: SEED,
+        ..IscOptions::default()
+    })
+    .run(&net)
+    .unwrap();
+    let baseline = full_crossbar(&net, 64).unwrap();
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    for (tag, mapping) in [("autoncs", &hybrid), ("fullcro", &baseline)] {
+        let nl = Netlist::from_mapping(mapping, &tech);
+        group.bench_function(tag, |b| {
+            b.iter(|| place(&nl, &PlacerOptions::fast()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let (nl, p) = prepared_netlist();
+    let tech = TechnologyModel::nm45();
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    group.bench_function("maze_route", |b| {
+        b.iter(|| route(&nl, &p, &tech, &RouterOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_routing);
+criterion_main!(benches);

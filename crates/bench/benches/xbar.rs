@@ -1,0 +1,44 @@
+//! Benches for the analog crossbar device model: ideal dot product vs the
+//! IR-drop nodal solve across array sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncs_xbar::{CrossbarArray, DeviceModel};
+
+fn programmed(n: usize) -> CrossbarArray {
+    let weights: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| ((i * 31 + j * 7) % 100) as f64 / 100.0)
+                .collect()
+        })
+        .collect();
+    CrossbarArray::program(&weights, &DeviceModel::default()).expect("valid weights")
+}
+
+fn bench_ideal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xbar_ideal");
+    for n in [16usize, 64] {
+        let array = programmed(n);
+        let inputs: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &array, |b, a| {
+            b.iter(|| a.evaluate_ideal(&inputs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ir_drop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xbar_ir_drop");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let array = programmed(n);
+        let inputs: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &array, |b, a| {
+            b.iter(|| a.evaluate_ir_drop(&inputs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ideal, bench_ir_drop);
+criterion_main!(benches);

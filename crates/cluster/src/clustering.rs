@@ -1,0 +1,189 @@
+use ncs_net::ConnectionMatrix;
+
+/// A partition of a network's neurons into clusters.
+///
+/// Produced by [`msc`](crate::msc), [`gcp`](crate::gcp) and
+/// [`traversing`](crate::traversing); consumed by ISC, the statistics
+/// helpers, and the physical-design netlist builder.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_cluster::Clustering;
+///
+/// let c = Clustering::new(vec![vec![0, 1], vec![2]], 3);
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.max_cluster_size(), 2);
+/// assert_eq!(c.cluster_of(2), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Clustering {
+    clusters: Vec<Vec<usize>>,
+    neurons: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from explicit member lists over `neurons`
+    /// neurons. Empty clusters are dropped; member lists are sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member index is `>= neurons` or appears in more than
+    /// one cluster.
+    pub fn new(clusters: Vec<Vec<usize>>, neurons: usize) -> Self {
+        let mut seen = vec![false; neurons];
+        let mut kept = Vec::with_capacity(clusters.len());
+        for mut members in clusters {
+            members.sort_unstable();
+            for &m in &members {
+                assert!(m < neurons, "member {m} out of range for {neurons} neurons");
+                assert!(!seen[m], "member {m} appears in two clusters");
+                seen[m] = true;
+            }
+            if !members.is_empty() {
+                kept.push(members);
+            }
+        }
+        Clustering {
+            clusters: kept,
+            neurons,
+        }
+    }
+
+    /// Builds a clustering from a per-neuron label vector (labels need not
+    /// be contiguous).
+    pub fn from_assignment(assignment: &[usize], k: usize) -> Self {
+        let mut clusters = vec![Vec::new(); k];
+        for (i, &a) in assignment.iter().enumerate() {
+            if a < k {
+                clusters[a].push(i);
+            }
+        }
+        Clustering::new(clusters, assignment.len())
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Number of neurons in the underlying network.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// The member list of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= len()`.
+    pub fn cluster(&self, c: usize) -> &[usize] {
+        &self.clusters[c]
+    }
+
+    /// Iterator over clusters.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.clusters.iter().map(|c| c.as_slice())
+    }
+
+    /// Which cluster a neuron belongs to, if any.
+    pub fn cluster_of(&self, neuron: usize) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|c| c.binary_search(&neuron).is_ok())
+    }
+
+    /// Sizes of all clusters.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(|c| c.len()).collect()
+    }
+
+    /// Size of the largest cluster (0 if none).
+    pub fn max_cluster_size(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// Connections of `net` that fall inside some cluster (candidate
+    /// crossbar connections).
+    pub fn within_connections(&self, net: &ConnectionMatrix) -> usize {
+        self.clusters
+            .iter()
+            .map(|c| net.connections_within(c))
+            .sum()
+    }
+
+    /// Connections of `net` not covered by any cluster — the paper's
+    /// *outliers*.
+    pub fn outlier_count(&self, net: &ConnectionMatrix) -> usize {
+        net.connections() - self.within_connections(net)
+    }
+
+    /// Fraction of `net`'s connections that are outliers (0.0 for an empty
+    /// network).
+    pub fn outlier_ratio(&self, net: &ConnectionMatrix) -> f64 {
+        let total = net.connections();
+        if total == 0 {
+            0.0
+        } else {
+            self.outlier_count(net) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Clustering::new(vec![vec![2, 0], vec![1], vec![]], 3);
+        assert_eq!(c.len(), 2, "empty cluster dropped");
+        assert_eq!(c.cluster(0), &[0, 2], "members sorted");
+        assert_eq!(c.cluster_of(1), Some(1));
+        assert_eq!(c.sizes(), vec![2, 1]);
+        assert_eq!(c.max_cluster_size(), 2);
+        assert_eq!(c.neurons(), 3);
+    }
+
+    #[test]
+    fn from_assignment_groups_by_label() {
+        let c = Clustering::from_assignment(&[0, 1, 0, 1, 1], 2);
+        assert_eq!(c.cluster(0), &[0, 2]);
+        assert_eq!(c.cluster(1), &[1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two clusters")]
+    fn overlapping_clusters_panic() {
+        Clustering::new(vec![vec![0, 1], vec![1, 2]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_member_panics() {
+        Clustering::new(vec![vec![5]], 3);
+    }
+
+    #[test]
+    fn outlier_accounting() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1), (1, 0), (2, 3), (0, 3)]).unwrap();
+        let c = Clustering::new(vec![vec![0, 1], vec![2, 3]], 4);
+        assert_eq!(c.within_connections(&net), 3);
+        assert_eq!(c.outlier_count(&net), 1);
+        assert!((c.outlier_ratio(&net) - 0.25).abs() < 1e-12);
+        let empty_net = ConnectionMatrix::empty(4).unwrap();
+        assert_eq!(c.outlier_ratio(&empty_net), 0.0);
+    }
+
+    #[test]
+    fn neuron_not_in_any_cluster() {
+        let c = Clustering::new(vec![vec![0]], 3);
+        assert_eq!(c.cluster_of(2), None);
+    }
+}

@@ -1,0 +1,121 @@
+use ncs_net::ConnectionMatrix;
+
+use crate::{ClusterError, CrossbarAssignment, HybridMapping};
+
+/// The brute-force **FullCro** baseline (Section 4.2): implement the whole
+/// network with maximum-size crossbars only.
+///
+/// Neurons are tiled into consecutive groups of `size`; every group pair
+/// `(gi, gj)` that carries at least one connection gets a `size × size`
+/// crossbar whose rows are `gi` and columns are `gj`. No discrete synapses
+/// are used, so utilization is simply the network density seen by each
+/// tile — low for sparse networks, which is exactly the inefficiency
+/// AutoNCS attacks.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidSizeLimit`] for `size == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_cluster::full_crossbar;
+/// use ncs_net::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = generators::uniform_random(130, 0.05, 3)?;
+/// let mapping = full_crossbar(&net, 64)?;
+/// assert!(mapping.outliers().is_empty());
+/// mapping.verify_covers(&net).expect("baseline covers everything");
+/// // 130 neurons tile into ceil(130/64) = 3 groups => at most 9 crossbars.
+/// assert!(mapping.crossbars().len() <= 9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn full_crossbar(net: &ConnectionMatrix, size: usize) -> Result<HybridMapping, ClusterError> {
+    if size == 0 {
+        return Err(ClusterError::InvalidSizeLimit { limit: 0 });
+    }
+    let n = net.neurons();
+    let groups: Vec<Vec<usize>> = (0..n.div_ceil(size))
+        .map(|g| (g * size..((g + 1) * size).min(n)).collect())
+        .collect();
+    let mut crossbars = Vec::new();
+    for gi in &groups {
+        for gj in &groups {
+            let mut connections = Vec::new();
+            for &f in gi {
+                for t in net.fanout_of(f) {
+                    if t / size == gj[0] / size {
+                        connections.push((f, t));
+                    }
+                }
+            }
+            if !connections.is_empty() {
+                crossbars.push(CrossbarAssignment::new(
+                    gi.clone(),
+                    gj.clone(),
+                    size,
+                    connections,
+                ));
+            }
+        }
+    }
+    Ok(HybridMapping::new(n, crossbars, Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_net::generators;
+
+    #[test]
+    fn covers_everything_with_no_outliers() {
+        let net = generators::uniform_random(100, 0.06, 9).unwrap();
+        let mapping = full_crossbar(&net, 64).unwrap();
+        mapping.verify_covers(&net).unwrap();
+        assert!(mapping.outliers().is_empty());
+        assert_eq!(mapping.realized_connections(), net.connections());
+    }
+
+    #[test]
+    fn utilization_matches_density_roughly() {
+        let net = generators::uniform_random(128, 0.05, 2).unwrap();
+        let mapping = full_crossbar(&net, 64).unwrap();
+        // With 2x2 full tiles the average tile utilization approximates the
+        // network density.
+        assert!((mapping.average_utilization() - net.density()).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_tiles_are_skipped() {
+        // Connections only inside the first 10 neurons.
+        let mut pairs = Vec::new();
+        for a in 0..10usize {
+            pairs.push((a, (a + 1) % 10));
+        }
+        let net = ConnectionMatrix::from_pairs(200, pairs).unwrap();
+        let mapping = full_crossbar(&net, 64).unwrap();
+        assert_eq!(mapping.crossbars().len(), 1);
+        assert_eq!(mapping.crossbars()[0].size, 64);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1)]).unwrap();
+        assert!(full_crossbar(&net, 0).is_err());
+    }
+
+    #[test]
+    fn ragged_last_group_is_handled() {
+        let net = ConnectionMatrix::from_pairs(70, [(0, 69), (69, 0)]).unwrap();
+        let mapping = full_crossbar(&net, 64).unwrap();
+        mapping.verify_covers(&net).unwrap();
+        // Connections span groups 0 and 1 in both directions.
+        assert_eq!(mapping.crossbars().len(), 2);
+        // Group 1 holds only 6 neurons but the crossbar is still size 64.
+        for c in mapping.crossbars() {
+            assert_eq!(c.size, 64);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+use std::collections::BTreeSet;
+
+use ncs_net::ConnectionMatrix;
+
+use crate::{crossbar_preference, CpModel};
+
+/// One memristor crossbar in a hybrid implementation.
+///
+/// A crossbar of size `s` connects up to `s` input neurons to up to `s`
+/// output neurons and realizes the listed `(from, to)` connections. For
+/// ISC clusters the input and output sets coincide (the cluster members);
+/// for FullCro tiles they are the row/column neuron groups of the tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CrossbarAssignment {
+    /// Neurons driving the crossbar rows.
+    pub inputs: Vec<usize>,
+    /// Neurons reading the crossbar columns.
+    pub outputs: Vec<usize>,
+    /// Crossbar dimension `s` (offers `s²` connections).
+    pub size: usize,
+    /// Realized connections, each with `from ∈ inputs`, `to ∈ outputs`.
+    pub connections: Vec<(usize, usize)>,
+}
+
+impl CrossbarAssignment {
+    /// Builds and validates an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input/output sets exceed the crossbar size or a
+    /// connection endpoint is not in the corresponding set — these are
+    /// programming errors in the mapper, not runtime conditions.
+    pub fn new(
+        inputs: Vec<usize>,
+        outputs: Vec<usize>,
+        size: usize,
+        connections: Vec<(usize, usize)>,
+    ) -> Self {
+        assert!(
+            inputs.len() <= size,
+            "{} inputs exceed crossbar size {size}",
+            inputs.len()
+        );
+        assert!(
+            outputs.len() <= size,
+            "{} outputs exceed crossbar size {size}",
+            outputs.len()
+        );
+        let in_set: BTreeSet<usize> = inputs.iter().copied().collect();
+        let out_set: BTreeSet<usize> = outputs.iter().copied().collect();
+        for &(f, t) in &connections {
+            assert!(in_set.contains(&f), "connection from {f} not an input");
+            assert!(out_set.contains(&t), "connection to {t} not an output");
+        }
+        CrossbarAssignment {
+            inputs,
+            outputs,
+            size,
+            connections,
+        }
+    }
+
+    /// Utilized connections `m`.
+    pub fn utilized(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Utilization `u = m / s²`.
+    pub fn utilization(&self) -> f64 {
+        self.connections.len() as f64 / (self.size * self.size) as f64
+    }
+
+    /// Crossbar preference under `model`.
+    pub fn cp(&self, model: CpModel) -> f64 {
+        crossbar_preference(self.connections.len(), self.size, model)
+    }
+
+    /// Whether input and output sets are the same neurons (an ISC cluster
+    /// crossbar as opposed to a FullCro tile).
+    pub fn is_cluster_crossbar(&self) -> bool {
+        self.inputs == self.outputs
+    }
+
+    /// All distinct neurons touching this crossbar.
+    pub fn neurons(&self) -> Vec<usize> {
+        let mut set: BTreeSet<usize> = self.inputs.iter().copied().collect();
+        set.extend(self.outputs.iter().copied());
+        set.into_iter().collect()
+    }
+}
+
+/// A complete hybrid implementation of a network: crossbars plus discrete
+/// synapses (*outliers*).
+///
+/// The defining invariant — every connection of the source network is
+/// realized exactly once, either inside a crossbar or as a discrete
+/// synapse — can be checked with [`HybridMapping::verify_covers`].
+///
+/// # Examples
+///
+/// ```
+/// use ncs_cluster::{full_crossbar, CrossbarSizeSet};
+/// use ncs_net::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = generators::uniform_random(100, 0.05, 1)?;
+/// let mapping = full_crossbar(&net, 64)?;
+/// mapping.verify_covers(&net).expect("FullCro covers every connection");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HybridMapping {
+    neurons: usize,
+    crossbars: Vec<CrossbarAssignment>,
+    outliers: Vec<(usize, usize)>,
+}
+
+impl HybridMapping {
+    /// Assembles a mapping from parts.
+    pub fn new(
+        neurons: usize,
+        crossbars: Vec<CrossbarAssignment>,
+        outliers: Vec<(usize, usize)>,
+    ) -> Self {
+        HybridMapping {
+            neurons,
+            crossbars,
+            outliers,
+        }
+    }
+
+    /// Number of neurons in the source network.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// The crossbars.
+    pub fn crossbars(&self) -> &[CrossbarAssignment] {
+        &self.crossbars
+    }
+
+    /// The outlier connections realized as discrete synapses.
+    pub fn outliers(&self) -> &[(usize, usize)] {
+        &self.outliers
+    }
+
+    /// Total connections realized inside crossbars.
+    pub fn realized_connections(&self) -> usize {
+        self.crossbars.iter().map(|c| c.utilized()).sum()
+    }
+
+    /// Fraction of all connections implemented as discrete synapses.
+    pub fn outlier_ratio(&self) -> f64 {
+        let total = self.realized_connections() + self.outliers.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.outliers.len() as f64 / total as f64
+        }
+    }
+
+    /// Mean crossbar utilization (0.0 when there are no crossbars).
+    pub fn average_utilization(&self) -> f64 {
+        if self.crossbars.is_empty() {
+            0.0
+        } else {
+            self.crossbars.iter().map(|c| c.utilization()).sum::<f64>()
+                / self.crossbars.len() as f64
+        }
+    }
+
+    /// Mean crossbar preference under `model` (0.0 when no crossbars).
+    pub fn average_cp(&self, model: CpModel) -> f64 {
+        if self.crossbars.is_empty() {
+            0.0
+        } else {
+            self.crossbars.iter().map(|c| c.cp(model)).sum::<f64>() / self.crossbars.len() as f64
+        }
+    }
+
+    /// Histogram of crossbar sizes as `(size, count)` pairs, ascending.
+    pub fn size_histogram(&self) -> Vec<(usize, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for c in &self.crossbars {
+            *map.entry(c.size).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Verifies the covering invariant against the source network: the
+    /// crossbar connections and outliers partition the network's
+    /// connections (no duplicates, no misses, no inventions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn verify_covers(&self, net: &ConnectionMatrix) -> Result<(), String> {
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (ci, c) in self.crossbars.iter().enumerate() {
+            for &(f, t) in &c.connections {
+                if !net.is_connected(f, t) {
+                    return Err(format!("crossbar {ci} realizes non-existent ({f},{t})"));
+                }
+                if !seen.insert((f, t)) {
+                    return Err(format!("connection ({f},{t}) realized twice"));
+                }
+            }
+        }
+        for &(f, t) in &self.outliers {
+            if !net.is_connected(f, t) {
+                return Err(format!("outlier ({f},{t}) does not exist in the network"));
+            }
+            if !seen.insert((f, t)) {
+                return Err(format!("connection ({f},{t}) realized twice (outlier)"));
+            }
+        }
+        if seen.len() != net.connections() {
+            return Err(format!(
+                "mapping realizes {} of {} connections",
+                seen.len(),
+                net.connections()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-neuron `fanin + fanout` carried by crossbars, counted as
+    /// **physical crossbar ports**: a neuron that drives a crossbar's rows
+    /// contributes one fanout there and a neuron reading its columns one
+    /// fanin, however many connections the crossbar absorbs for it. This
+    /// is the paper's congestion proxy — crossbars reduce fanin+fanout
+    /// precisely because many connections collapse onto one port.
+    pub fn crossbar_fanin_fanout(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.neurons];
+        for c in &self.crossbars {
+            // Physical wiring: every row of the crossbar is driven by its
+            // input neuron and every column read by its output neuron,
+            // whether or not each individual junction is programmed.
+            for &f in &c.inputs {
+                counts[f] += 1;
+            }
+            for &t in &c.outputs {
+                counts[t] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Per-neuron `fanin + fanout` carried by discrete synapses.
+    pub fn synapse_fanin_fanout(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.neurons];
+        for &(f, t) in &self.outliers {
+            counts[f] += 1;
+            counts[t] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mapping() -> (ConnectionMatrix, HybridMapping) {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1), (1, 0), (2, 3), (0, 3)]).unwrap();
+        let xbar = CrossbarAssignment::new(vec![0, 1], vec![0, 1], 16, vec![(0, 1), (1, 0)]);
+        let mapping = HybridMapping::new(4, vec![xbar], vec![(2, 3), (0, 3)]);
+        (net, mapping)
+    }
+
+    #[test]
+    fn assignment_metrics() {
+        let a = CrossbarAssignment::new(vec![0, 1], vec![0, 1], 16, vec![(0, 1)]);
+        assert_eq!(a.utilized(), 1);
+        assert!((a.utilization() - 1.0 / 256.0).abs() < 1e-12);
+        assert!(a.cp(CpModel::default()) > 0.0);
+        assert!(a.is_cluster_crossbar());
+        assert_eq!(a.neurons(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed crossbar size")]
+    fn oversize_inputs_panic() {
+        CrossbarAssignment::new(vec![0, 1, 2], vec![0], 2, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an input")]
+    fn stray_connection_panics() {
+        CrossbarAssignment::new(vec![0], vec![0], 4, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn mapping_accounting() {
+        let (net, mapping) = sample_mapping();
+        assert_eq!(mapping.realized_connections(), 2);
+        assert_eq!(mapping.outliers().len(), 2);
+        assert!((mapping.outlier_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(mapping.size_histogram(), vec![(16, 1)]);
+        mapping.verify_covers(&net).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_duplicates() {
+        let net = ConnectionMatrix::from_pairs(2, [(0, 1)]).unwrap();
+        let xbar = CrossbarAssignment::new(vec![0, 1], vec![0, 1], 16, vec![(0, 1)]);
+        let mapping = HybridMapping::new(2, vec![xbar], vec![(0, 1)]);
+        assert!(mapping.verify_covers(&net).unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn verify_detects_missing() {
+        let net = ConnectionMatrix::from_pairs(2, [(0, 1), (1, 0)]).unwrap();
+        let mapping = HybridMapping::new(2, vec![], vec![(0, 1)]);
+        assert!(mapping.verify_covers(&net).unwrap_err().contains("1 of 2"));
+    }
+
+    #[test]
+    fn verify_detects_invented() {
+        let net = ConnectionMatrix::from_pairs(2, [(0, 1)]).unwrap();
+        let mapping = HybridMapping::new(2, vec![], vec![(0, 1), (1, 0)]);
+        assert!(mapping
+            .verify_covers(&net)
+            .unwrap_err()
+            .contains("does not exist"));
+    }
+
+    #[test]
+    fn fanin_fanout_split() {
+        let (_, mapping) = sample_mapping();
+        // The crossbar holds the 2-cycle (0,1),(1,0): each endpoint has
+        // fanin 1 + fanout 1 = 2.
+        assert_eq!(mapping.crossbar_fanin_fanout(), vec![2, 2, 0, 0]);
+        assert_eq!(mapping.synapse_fanin_fanout(), vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_mapping_ratios() {
+        let mapping = HybridMapping::new(3, vec![], vec![]);
+        assert_eq!(mapping.outlier_ratio(), 0.0);
+        assert_eq!(mapping.average_utilization(), 0.0);
+        assert_eq!(mapping.average_cp(CpModel::default()), 0.0);
+    }
+}

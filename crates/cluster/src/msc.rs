@@ -1,0 +1,343 @@
+use ncs_linalg::{lanczos_largest, CsrMatrix, DenseMatrix, GeneralizedEigen, Triplet};
+use ncs_net::ConnectionMatrix;
+
+use crate::{kmeans, ClusterError, Clustering};
+
+/// Computes the spectral embedding of a network: the generalized
+/// eigendecomposition of `L u = λ D u` where the similarity `W` is the
+/// symmetrized binary connection matrix, `D` its degree matrix and
+/// `L = D − W` the unnormalized Laplacian (Algorithm 1, steps 1-4).
+///
+/// Returning the full decomposition (all `n` eigenvectors, ascending
+/// eigenvalues) lets GCP and the traversing baseline reuse one expensive
+/// factorization across many values of `k`, exactly as Algorithm 2 step 1
+/// prescribes.
+///
+/// # Errors
+///
+/// Propagates eigensolver failures ([`ClusterError::Linalg`]).
+///
+/// # Examples
+///
+/// ```
+/// use ncs_net::ConnectionMatrix;
+/// use ncs_cluster::spectral_embedding;
+///
+/// # fn main() -> Result<(), ncs_cluster::ClusterError> {
+/// let net = ConnectionMatrix::from_pairs(4, [(0, 1), (1, 0), (2, 3), (3, 2)])?;
+/// let eig = spectral_embedding(&net)?;
+/// // Two connected components => two (near-)zero eigenvalues.
+/// assert!(eig.eigenvalues()[1].abs() < 1e-9);
+/// assert!(eig.eigenvalues()[2] > 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spectral_embedding(net: &ConnectionMatrix) -> Result<GeneralizedEigen, ClusterError> {
+    let sym = net.symmetrized();
+    let n = sym.neurons();
+    let degrees = sym.degrees();
+    let mut laplacian = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        laplacian[(i, i)] = degrees[i];
+    }
+    for (i, j) in sym.iter() {
+        laplacian[(i, j)] -= 1.0;
+    }
+    Ok(GeneralizedEigen::new(&laplacian, &degrees)?)
+}
+
+/// **Modified Spectral Clustering** (Algorithm 1).
+///
+/// Classic normalized spectral clustering with the similarity redefined as
+/// the number of connections between neurons: build the Laplacian of the
+/// (symmetrized) connection matrix, embed each neuron as the `i`-th row of
+/// the `n × k` matrix of the `k` smallest generalized eigenvectors, and
+/// k-means the rows into `k` clusters. Connections that end up inside a
+/// cluster can be mapped to a crossbar; connections across clusters are
+/// *outliers*.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidClusterCount`] for `k` outside
+/// `1..=neurons`, or propagates eigensolver failures.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_net::generators;
+/// use ncs_cluster::msc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (net, _) = generators::planted_clusters(60, 3, 0.7, 0.01, 5)?;
+/// let clustering = msc(&net, 3, 42)?;
+/// // Nearly all connections land inside clusters.
+/// assert!(clustering.outlier_ratio(&net) < 0.15);
+/// # Ok(())
+/// # }
+/// ```
+pub fn msc(net: &ConnectionMatrix, k: usize, seed: u64) -> Result<Clustering, ClusterError> {
+    let n = net.neurons();
+    if k == 0 || k > n {
+        return Err(ClusterError::InvalidClusterCount { k, points: n });
+    }
+    let eig = spectral_embedding(net)?;
+    msc_from_embedding(&eig, k, seed)
+}
+
+/// MSC step 5-6 on a precomputed embedding; shared with the traversing
+/// baseline so that repeated `k` scans do not refactorize.
+pub(crate) fn msc_from_embedding(
+    eig: &GeneralizedEigen,
+    k: usize,
+    seed: u64,
+) -> Result<Clustering, ClusterError> {
+    let u = eig.embedding(k);
+    let result = kmeans(&u, k, seed, 200)?;
+    Ok(Clustering::from_assignment(&result.assignment, k))
+}
+
+/// A spectral embedding that GCP can slice by column count: either the
+/// full dense decomposition (every `k` available) or a Lanczos partial
+/// embedding with a fixed column budget.
+#[derive(Debug, Clone)]
+pub(crate) enum EmbeddingSource {
+    Dense(GeneralizedEigen),
+    Partial(DenseMatrix),
+}
+
+impl EmbeddingSource {
+    /// First `min(k, max_k)` embedding columns.
+    pub(crate) fn embedding(&self, k: usize) -> DenseMatrix {
+        match self {
+            EmbeddingSource::Dense(eig) => eig.embedding(k.min(self.max_k())),
+            EmbeddingSource::Partial(u) => {
+                let k = k.min(u.ncols());
+                let mut out = DenseMatrix::zeros(u.nrows(), k);
+                for i in 0..u.nrows() {
+                    for j in 0..k {
+                        out[(i, j)] = u[(i, j)];
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Widest available embedding.
+    pub(crate) fn max_k(&self) -> usize {
+        match self {
+            EmbeddingSource::Dense(eig) => eig.eigenvectors().ncols(),
+            EmbeddingSource::Partial(u) => u.ncols(),
+        }
+    }
+}
+
+/// Sparse **partial** spectral embedding: the `k` smallest generalized
+/// eigenvectors of `L u = λ D u` computed with Lanczos on the (shifted)
+/// normalized Laplacian instead of a dense `O(n³)` factorization.
+///
+/// The normalized Laplacian's spectrum lies in `[0, 2]`, so its smallest
+/// eigenvalues are the largest of `C = 2I − B`, which is what
+/// [`lanczos_largest`] extracts from sparse matvecs in
+/// `O(k·nnz + k²·n)`. Use this for networks with thousands of neurons —
+/// the deep-network workloads the paper's introduction motivates — where
+/// the dense path in [`spectral_embedding`] becomes the bottleneck.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidClusterCount`] for `k` outside
+/// `1..=neurons`, or propagates solver failures.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_net::generators;
+/// use ncs_cluster::spectral_embedding_partial;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (net, _) = generators::planted_clusters(200, 4, 0.3, 0.01, 3)?;
+/// let u = spectral_embedding_partial(&net, 4, 42)?;
+/// assert_eq!(u.shape(), (200, 4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn spectral_embedding_partial(
+    net: &ConnectionMatrix,
+    k: usize,
+    seed: u64,
+) -> Result<DenseMatrix, ClusterError> {
+    let n = net.neurons();
+    if k == 0 || k > n {
+        return Err(ClusterError::InvalidClusterCount { k, points: n });
+    }
+    let sym = net.symmetrized();
+    let degrees = sym.degrees();
+    let inv_sqrt: Vec<f64> = degrees
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 })
+        .collect();
+    // Normalized adjacency W̃ with entries w_ij·d_i^{-1/2}·d_j^{-1/2};
+    // B = I_connected − W̃, and we feed Lanczos C = 2I − B.
+    let triplets: Vec<Triplet> = sym
+        .iter()
+        .map(|(i, j)| Triplet::new(i, j, inv_sqrt[i] * inv_sqrt[j]))
+        .collect();
+    let w_norm = CsrMatrix::from_triplets(n, n, &triplets)?;
+    let connected: Vec<f64> = degrees
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 } else { 0.0 })
+        .collect();
+    let (_, vectors) = lanczos_largest(
+        |x, y| {
+            let wx = w_norm.matvec(x).expect("square matvec");
+            for i in 0..n {
+                y[i] = (2.0 - connected[i]) * x[i] + wx[i];
+            }
+        },
+        n,
+        k,
+        seed,
+    )?;
+    // Un-whiten: u = D^{-1/2} v, renormalized per column. Lanczos returns
+    // columns in descending C order == ascending Laplacian order, which is
+    // exactly the MSC embedding order.
+    let mut u = DenseMatrix::zeros(n, k);
+    for col in 0..k.min(vectors.ncols()) {
+        let mut nrm = 0.0;
+        for i in 0..n {
+            let val = vectors[(i, col)] * inv_sqrt[i];
+            u[(i, col)] = val;
+            nrm += val * val;
+        }
+        let nrm = nrm.sqrt();
+        if nrm > 0.0 {
+            for i in 0..n {
+                u[(i, col)] /= nrm;
+            }
+        }
+    }
+    Ok(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_net::generators;
+
+    #[test]
+    fn separates_disconnected_components() {
+        // Two 3-cliques with no cross connections.
+        let mut pairs = Vec::new();
+        for base in [0usize, 3] {
+            for a in 0..3 {
+                for b in 0..3 {
+                    if a != b {
+                        pairs.push((base + a, base + b));
+                    }
+                }
+            }
+        }
+        let net = ConnectionMatrix::from_pairs(6, pairs).unwrap();
+        let c = msc(&net, 2, 1).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.outlier_count(&net), 0);
+        // Each clique lands wholly in one cluster.
+        let first = c.cluster_of(0).unwrap();
+        assert_eq!(c.cluster_of(1), Some(first));
+        assert_eq!(c.cluster_of(2), Some(first));
+        let second = c.cluster_of(3).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(c.cluster_of(4), Some(second));
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let (net, truth) = generators::planted_clusters(90, 3, 0.6, 0.005, 11).unwrap();
+        let c = msc(&net, 3, 7).unwrap();
+        // Measure purity: majority label per cluster.
+        let mut correct = 0;
+        for members in c.iter() {
+            let mut counts = [0usize; 3];
+            for &m in members {
+                counts[truth[m]] += 1;
+            }
+            correct += counts.iter().max().unwrap();
+        }
+        assert!(
+            correct as f64 / 90.0 > 0.9,
+            "purity {}",
+            correct as f64 / 90.0
+        );
+        assert!(c.outlier_ratio(&net) < 0.1);
+    }
+
+    #[test]
+    fn clustering_reduces_outliers_vs_random_partition() {
+        let (net, _) = generators::planted_clusters(80, 4, 0.5, 0.02, 3).unwrap();
+        let spectral = msc(&net, 4, 9).unwrap();
+        // A contiguous-chunks partition ignores the hidden structure.
+        let naive = Clustering::new(
+            (0..4)
+                .map(|c| ((c * 20)..((c + 1) * 20)).collect())
+                .collect(),
+            80,
+        );
+        assert!(
+            spectral.outlier_ratio(&net) < naive.outlier_ratio(&net),
+            "spectral {} vs naive {}",
+            spectral.outlier_ratio(&net),
+            naive.outlier_ratio(&net)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1)]).unwrap();
+        assert!(msc(&net, 0, 0).is_err());
+        assert!(msc(&net, 5, 0).is_err());
+    }
+
+    #[test]
+    fn handles_networks_with_isolated_neurons() {
+        let net = ConnectionMatrix::from_pairs(5, [(0, 1), (1, 0)]).unwrap();
+        let c = msc(&net, 2, 0).unwrap();
+        assert_eq!(c.outlier_count(&net) + c.within_connections(&net), 2);
+    }
+
+    #[test]
+    fn partial_embedding_agrees_with_dense_on_cluster_recovery() {
+        let (net, truth) = generators::planted_clusters(120, 3, 0.5, 0.005, 13).unwrap();
+        let u = spectral_embedding_partial(&net, 3, 7).unwrap();
+        let result = crate::kmeans(&u, 3, 7, 200).unwrap();
+        let c = Clustering::from_assignment(&result.assignment, 3);
+        let mut correct = 0;
+        for members in c.iter() {
+            let mut counts = [0usize; 3];
+            for &m in members {
+                counts[truth[m]] += 1;
+            }
+            correct += counts.iter().max().unwrap();
+        }
+        assert!(
+            correct as f64 / 120.0 > 0.9,
+            "purity {}",
+            correct as f64 / 120.0
+        );
+    }
+
+    #[test]
+    fn partial_embedding_validates_k() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1)]).unwrap();
+        assert!(spectral_embedding_partial(&net, 0, 0).is_err());
+        assert!(spectral_embedding_partial(&net, 5, 0).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_makes_everything_outliers() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        let c = msc(&net, 4, 0).unwrap();
+        // Singleton clusters cannot contain any (off-diagonal) connection.
+        assert_eq!(c.within_connections(&net), 0);
+        assert_eq!(c.outlier_ratio(&net), 1.0);
+    }
+}

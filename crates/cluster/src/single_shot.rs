@@ -1,0 +1,146 @@
+use ncs_net::ConnectionMatrix;
+
+use crate::{
+    min_satisfiable_size, ClusterError, CrossbarAssignment, CrossbarSizeSet, GcpOptions,
+    HybridMapping,
+};
+
+/// The non-iterative baseline that motivates ISC: run MSC+GCP **once**,
+/// realize *every* cluster (with at least one internal connection) on its
+/// minimum satisfiable crossbar, and map all between-cluster connections
+/// to discrete synapses.
+///
+/// Section 3.2 observes that a single clustering pass leaves the majority
+/// of connections as outliers (57 % on the 400×400 example) and that
+/// realizing sparse clusters wastes crossbar area — the two problems ISC's
+/// iteration and partial selection fix. This mapper exists so that claim
+/// is measurable: compare its outlier ratio and average utilization
+/// against [`Isc`](crate::Isc) on the same network.
+///
+/// # Errors
+///
+/// Propagates clustering errors.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_cluster::{single_shot, CrossbarSizeSet, GcpOptions, Isc, IscOptions};
+/// use ncs_net::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = generators::planted_clusters(96, 4, 0.4, 0.02, 5)?.0;
+/// let sizes = CrossbarSizeSet::new([8, 16, 24, 32])?;
+/// let once = single_shot(&net, &sizes, &GcpOptions { max_cluster_size: 32, ..GcpOptions::default() })?;
+/// let iterated = Isc::new(IscOptions { sizes, ..IscOptions::default() }).run(&net)?;
+/// // Iteration leaves fewer connections on discrete synapses.
+/// assert!(iterated.outlier_ratio() <= once.outlier_ratio());
+/// # Ok(())
+/// # }
+/// ```
+pub fn single_shot(
+    net: &ConnectionMatrix,
+    sizes: &CrossbarSizeSet,
+    gcp_options: &GcpOptions,
+) -> Result<HybridMapping, ClusterError> {
+    let options = GcpOptions {
+        max_cluster_size: sizes.max(),
+        ..*gcp_options
+    };
+    let clustering = crate::gcp(net, &options)?;
+    let mut remaining = net.clone();
+    let mut crossbars = Vec::new();
+    for members in clustering.iter() {
+        // Trim to the members that actually carry within-cluster
+        // connections, exactly as ISC does.
+        let mut mask = vec![false; net.neurons()];
+        for &m in members {
+            mask[m] = true;
+        }
+        let mut active_mask = vec![false; net.neurons()];
+        let mut connections = Vec::new();
+        for &f in members {
+            for t in remaining.fanout_of(f) {
+                if mask[t] {
+                    connections.push((f, t));
+                    active_mask[f] = true;
+                    active_mask[t] = true;
+                }
+            }
+        }
+        if connections.is_empty() {
+            continue;
+        }
+        let active: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&m| active_mask[m])
+            .collect();
+        let size = min_satisfiable_size(sizes, active.len())?;
+        remaining.remove_within(&active);
+        crossbars.push(CrossbarAssignment::new(
+            active.clone(),
+            active,
+            size,
+            connections,
+        ));
+    }
+    let outliers: Vec<(usize, usize)> = remaining.iter().collect();
+    Ok(HybridMapping::new(net.neurons(), crossbars, outliers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Isc, IscOptions};
+    use ncs_net::generators;
+
+    fn sizes() -> CrossbarSizeSet {
+        CrossbarSizeSet::new([8, 12, 16, 24, 32]).unwrap()
+    }
+
+    #[test]
+    fn covers_the_network() {
+        let net = generators::uniform_random(80, 0.08, 3).unwrap();
+        let mapping = single_shot(&net, &sizes(), &GcpOptions::default()).unwrap();
+        mapping.verify_covers(&net).unwrap();
+    }
+
+    #[test]
+    fn isc_beats_single_shot_on_outliers() {
+        let net = generators::planted_clusters(120, 4, 0.4, 0.02, 7)
+            .unwrap()
+            .0;
+        let once = single_shot(
+            &net,
+            &sizes(),
+            &GcpOptions {
+                seed: 1,
+                ..GcpOptions::default()
+            },
+        )
+        .unwrap();
+        let iterated = Isc::new(IscOptions {
+            sizes: sizes(),
+            seed: 1,
+            ..IscOptions::default()
+        })
+        .run(&net)
+        .unwrap();
+        assert!(
+            iterated.outlier_ratio() <= once.outlier_ratio() + 1e-12,
+            "isc {} vs single-shot {}",
+            iterated.outlier_ratio(),
+            once.outlier_ratio()
+        );
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        // A network whose connections all sit between two neurons: most
+        // clusters carry nothing and must not become crossbars.
+        let net = ConnectionMatrix::from_pairs(40, [(0, 1), (1, 0)]).unwrap();
+        let mapping = single_shot(&net, &sizes(), &GcpOptions::default()).unwrap();
+        assert!(mapping.crossbars().len() <= 1);
+        mapping.verify_covers(&net).unwrap();
+    }
+}

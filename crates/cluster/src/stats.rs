@@ -1,0 +1,205 @@
+//! Mapping statistics backing the paper's Figures 7-9.
+//!
+//! Figure 9(d) plots, for every neuron, the `fanin + fanout` carried by
+//! crossbars, by discrete synapses, and their sum — all normalized to the
+//! FullCro baseline — sorted by magnitude. [`FaninFanoutProfile`] computes
+//! exactly that series, and [`MappingComparison`] bundles the headline
+//! ratios ("the average total fanin+fanout after ISC is only 80 % of the
+//! baseline design").
+
+use ncs_net::ConnectionMatrix;
+
+use crate::{CpModel, HybridMapping};
+
+/// Per-neuron fanin+fanout split between crossbars and discrete synapses.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaninFanoutProfile {
+    /// Fanin+fanout carried by crossbar connections, per neuron.
+    pub crossbar: Vec<usize>,
+    /// Fanin+fanout carried by discrete synapses, per neuron.
+    pub synapse: Vec<usize>,
+}
+
+impl FaninFanoutProfile {
+    /// Computes the profile of a mapping.
+    pub fn of(mapping: &HybridMapping) -> Self {
+        FaninFanoutProfile {
+            crossbar: mapping.crossbar_fanin_fanout(),
+            synapse: mapping.synapse_fanin_fanout(),
+        }
+    }
+
+    /// Per-neuron totals (crossbar + synapse).
+    pub fn sum(&self) -> Vec<usize> {
+        self.crossbar
+            .iter()
+            .zip(&self.synapse)
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+
+    /// Mean of the per-neuron totals.
+    pub fn average_sum(&self) -> f64 {
+        let s = self.sum();
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<usize>() as f64 / s.len() as f64
+        }
+    }
+
+    /// The Figure 9(d) series: `(crossbar, synapse, sum)` triples sorted by
+    /// ascending total fanin+fanout.
+    pub fn sorted_series(&self) -> Vec<(usize, usize, usize)> {
+        let mut rows: Vec<(usize, usize, usize)> = self
+            .crossbar
+            .iter()
+            .zip(&self.synapse)
+            .map(|(&c, &s)| (c, s, c + s))
+            .collect();
+        rows.sort_by_key(|r| r.2);
+        rows
+    }
+
+    /// Fraction of neurons whose connectivity is carried *only* by
+    /// crossbars ("many of them do not even connect to any discrete
+    /// synapses").
+    pub fn crossbar_only_fraction(&self) -> f64 {
+        if self.synapse.is_empty() {
+            return 0.0;
+        }
+        let connected = self
+            .crossbar
+            .iter()
+            .zip(&self.synapse)
+            .filter(|(&c, &s)| c + s > 0)
+            .count();
+        if connected == 0 {
+            return 0.0;
+        }
+        let only = self
+            .crossbar
+            .iter()
+            .zip(&self.synapse)
+            .filter(|(&c, &s)| c > 0 && s == 0)
+            .count();
+        only as f64 / connected as f64
+    }
+}
+
+/// Headline comparison of an AutoNCS mapping against the FullCro baseline.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MappingComparison {
+    /// AutoNCS average crossbar utilization.
+    pub utilization: f64,
+    /// Baseline average crossbar utilization.
+    pub baseline_utilization: f64,
+    /// AutoNCS average total fanin+fanout per neuron.
+    pub average_fanin_fanout: f64,
+    /// Baseline average total fanin+fanout per neuron.
+    pub baseline_fanin_fanout: f64,
+    /// AutoNCS average crossbar preference.
+    pub average_cp: f64,
+    /// Number of crossbars in the AutoNCS mapping.
+    pub crossbars: usize,
+    /// Number of discrete synapses in the AutoNCS mapping.
+    pub synapses: usize,
+}
+
+impl MappingComparison {
+    /// Compares `mapping` to `baseline` for the same source network.
+    pub fn new(mapping: &HybridMapping, baseline: &HybridMapping, cp_model: CpModel) -> Self {
+        let profile = FaninFanoutProfile::of(mapping);
+        let base_profile = FaninFanoutProfile::of(baseline);
+        MappingComparison {
+            utilization: mapping.average_utilization(),
+            baseline_utilization: baseline.average_utilization(),
+            average_fanin_fanout: profile.average_sum(),
+            baseline_fanin_fanout: base_profile.average_sum(),
+            average_cp: mapping.average_cp(cp_model),
+            crossbars: mapping.crossbars().len(),
+            synapses: mapping.outliers().len(),
+        }
+    }
+
+    /// AutoNCS utilization normalized to the baseline (>1 means better).
+    pub fn normalized_utilization(&self) -> f64 {
+        if self.baseline_utilization == 0.0 {
+            0.0
+        } else {
+            self.utilization / self.baseline_utilization
+        }
+    }
+
+    /// AutoNCS average fanin+fanout normalized to the baseline (<1 means
+    /// less congestion; the paper reports ≈0.8).
+    pub fn normalized_fanin_fanout(&self) -> f64 {
+        if self.baseline_fanin_fanout == 0.0 {
+            0.0
+        } else {
+            self.average_fanin_fanout / self.baseline_fanin_fanout
+        }
+    }
+}
+
+/// Convenience: outlier ratio of a mapping against an explicit network
+/// (uses the network's connection count as the denominator).
+pub fn outlier_ratio_against(mapping: &HybridMapping, net: &ConnectionMatrix) -> f64 {
+    let total = net.connections();
+    if total == 0 {
+        0.0
+    } else {
+        mapping.outliers().len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{full_crossbar, CrossbarAssignment};
+
+    fn mapping_with_split() -> HybridMapping {
+        let xbar = CrossbarAssignment::new(vec![0, 1], vec![0, 1], 16, vec![(0, 1), (1, 0)]);
+        HybridMapping::new(4, vec![xbar], vec![(2, 3)])
+    }
+
+    #[test]
+    fn profile_sums_and_series() {
+        let p = FaninFanoutProfile::of(&mapping_with_split());
+        assert_eq!(p.crossbar, vec![2, 2, 0, 0]);
+        assert_eq!(p.synapse, vec![0, 0, 1, 1]);
+        assert_eq!(p.sum(), vec![2, 2, 1, 1]);
+        assert_eq!(p.average_sum(), 1.5);
+        let series = p.sorted_series();
+        assert_eq!(series.len(), 4);
+        assert!(series.windows(2).all(|w| w[0].2 <= w[1].2));
+    }
+
+    #[test]
+    fn crossbar_only_fraction_counts_connected_neurons() {
+        let p = FaninFanoutProfile::of(&mapping_with_split());
+        // Neurons 0,1 crossbar-only; neurons 2,3 synapse-only; all 4
+        // connected.
+        assert_eq!(p.crossbar_only_fraction(), 0.5);
+    }
+
+    #[test]
+    fn comparison_normalizations() {
+        let net = ncs_net::generators::uniform_random(100, 0.06, 3).unwrap();
+        let baseline = full_crossbar(&net, 64).unwrap();
+        let cmp = MappingComparison::new(&baseline, &baseline, CpModel::default());
+        assert!((cmp.normalized_utilization() - 1.0).abs() < 1e-12);
+        assert!((cmp.normalized_fanin_fanout() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_ratio_against_network() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1), (1, 0), (2, 3)]).unwrap();
+        let m = mapping_with_split();
+        assert!((outlier_ratio_against(&m, &net) - 1.0 / 3.0).abs() < 1e-12);
+        let empty = ConnectionMatrix::empty(4).unwrap();
+        assert_eq!(outlier_ratio_against(&m, &empty), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the clustering algorithms.
+
+use ncs_cluster::{full_crossbar, gcp, msc, CpModel, CrossbarSizeSet, GcpOptions, Isc, IscOptions};
+use ncs_net::generators;
+use proptest::prelude::*;
+
+proptest! {
+    // Spectral work is expensive; keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn msc_partitions_all_neurons(n in 8usize..40, k in 1usize..6, seed in 0u64..50) {
+        let k = k.min(n);
+        let net = generators::uniform_random(n, 0.15, seed).unwrap();
+        let c = msc(&net, k, seed).unwrap();
+        let total: usize = c.sizes().iter().sum();
+        prop_assert_eq!(total, n);
+        // Within + outliers == all connections.
+        prop_assert_eq!(
+            c.within_connections(&net) + c.outlier_count(&net),
+            net.connections()
+        );
+    }
+
+    #[test]
+    fn gcp_never_exceeds_limit(n in 10usize..60, limit in 4usize..20, seed in 0u64..50) {
+        let net = generators::uniform_random(n, 0.1, seed).unwrap();
+        let opts = GcpOptions { max_cluster_size: limit, seed, ..GcpOptions::default() };
+        let c = gcp(&net, &opts).unwrap();
+        prop_assert!(c.max_cluster_size() <= limit);
+        prop_assert_eq!(c.sizes().iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn isc_covering_invariant(n in 16usize..70, density in 0.03f64..0.15, seed in 0u64..50) {
+        let net = generators::uniform_random(n, density, seed).unwrap();
+        let opts = IscOptions {
+            sizes: CrossbarSizeSet::new([8, 16, 24, 32]).unwrap(),
+            seed,
+            ..IscOptions::default()
+        };
+        let (mapping, _) = Isc::new(opts).run_traced(&net).unwrap();
+        prop_assert!(mapping.verify_covers(&net).is_ok());
+        // All crossbar sizes come from the specified set.
+        for c in mapping.crossbars() {
+            prop_assert!([8usize, 16, 24, 32].contains(&c.size));
+            prop_assert!(c.inputs.len() <= c.size);
+            prop_assert!(c.outputs.len() <= c.size);
+        }
+    }
+
+    #[test]
+    fn fullcro_covers_everything(n in 10usize..80, size in 8usize..40, seed in 0u64..50) {
+        let net = generators::uniform_random(n, 0.08, seed).unwrap();
+        let mapping = full_crossbar(&net, size).unwrap();
+        prop_assert!(mapping.verify_covers(&net).is_ok());
+        prop_assert!(mapping.outliers().is_empty());
+    }
+
+    #[test]
+    fn cp_orderings_hold_for_any_m_s(m in 0usize..5000, s in 1usize..128) {
+        use ncs_cluster::crossbar_preference;
+        for model in [CpModel::MOverSSqrtU, CpModel::MuOverS] {
+            let base = crossbar_preference(m, s, model);
+            // More connections never lowers CP.
+            prop_assert!(crossbar_preference(m + 1, s, model) >= base);
+            // A bigger crossbar never raises CP for fixed m.
+            prop_assert!(crossbar_preference(m, s + 1, model) <= base);
+            prop_assert!(base.is_finite() && base >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! `autoncs` — command-line front end for the AutoNCS flow.
+//!
+//! ```text
+//! autoncs gen --kind <random|clusters|ldpc> --neurons N [--density D]
+//!             [--clusters K] [--seed S] --out net.txt
+//! autoncs map <net.txt> [--seed S] [--max-size M] [--trace trace.csv]
+//! autoncs compare <net.txt> [--seed S]
+//! autoncs implement <net.txt> [--seed S] [--out-prefix results/design]
+//! ```
+//!
+//! Networks are plain-text edge lists (see [`ncs_net::io`]). `gen` creates
+//! synthetic workloads; `map` runs ISC clustering and prints mapping
+//! statistics; `compare` runs the full AutoNCS and FullCro flows and
+//! prints a Table 1-style row; `implement` additionally writes placement
+//! and congestion plots.
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use autoncs::{plot, AutoNcs, CostTable};
+use ncs_cluster::{CrossbarSizeSet, IscOptions};
+use ncs_net::{generators, io as netio, ConnectionMatrix};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("usage: autoncs <gen|map|compare|implement> ... (see --help)".to_string());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "gen" => cmd_gen(rest),
+        "map" => cmd_map(rest),
+        "compare" => cmd_compare(rest),
+        "implement" => cmd_implement(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try --help")),
+    }
+}
+
+const HELP: &str = "autoncs — EDA flow for hybrid memristor neuromorphic systems
+
+commands:
+  gen --kind <random|clusters|ldpc> --neurons N [--density D]
+      [--clusters K] [--seed S] --out net.txt     generate a workload
+  map <net.txt> [--seed S] [--max-size M]
+      [--trace trace.csv]                         cluster to crossbars
+  compare <net.txt> [--seed S]                    AutoNCS vs FullCro costs
+  implement <net.txt> [--seed S]
+      [--out-prefix PREFIX]                       full flow + plot artifacts";
+
+/// Minimal flag parser: positional arguments plus `--key value` pairs.
+#[derive(Debug)]
+struct Flags<'a> {
+    positional: Vec<&'a str>,
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
+                pairs.push((key, value.as_str()));
+            } else {
+                positional.push(arg.as_str());
+            }
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| format!("bad --{key} {raw:?}: {e}")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+}
+
+fn load_net(path: &str) -> Result<ConnectionMatrix, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    netio::read_edge_list(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn framework(flags: &Flags) -> Result<AutoNcs, String> {
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let max_size: usize = flags.get_parsed("max-size", 64)?;
+    let sizes =
+        CrossbarSizeSet::new((16..=max_size.max(16)).step_by(4)).map_err(|e| e.to_string())?;
+    Ok(AutoNcs::builder()
+        .isc_options(IscOptions {
+            sizes,
+            seed,
+            ..IscOptions::default()
+        })
+        .build())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let kind = flags.require("kind")?.to_string();
+    let neurons: usize = flags.get_parsed("neurons", 128)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let out = flags.require("out")?;
+    let net = match kind.as_str() {
+        "random" => {
+            let density: f64 = flags.get_parsed("density", 0.05)?;
+            generators::uniform_random(neurons, density, seed).map_err(|e| e.to_string())?
+        }
+        "clusters" => {
+            let clusters: usize = flags.get_parsed("clusters", 4)?;
+            let density: f64 = flags.get_parsed("density", 0.4)?;
+            generators::planted_clusters(neurons, clusters, density, 0.01, seed)
+                .map_err(|e| e.to_string())?
+                .0
+        }
+        "ldpc" => {
+            let checks = neurons / 3;
+            generators::ldpc_like(neurons - checks, checks, 4, seed).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown --kind {other:?} (random|clusters|ldpc)")),
+    };
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    netio::write_edge_list(&net, file).map_err(|e| e.to_string())?;
+    println!("wrote {out}: {net}");
+    Ok(())
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("map expects a network file")?;
+    let net = load_net(path)?;
+    let (mapping, trace) = framework(&flags)?.map(&net).map_err(|e| e.to_string())?;
+    mapping
+        .verify_covers(&net)
+        .map_err(|e| format!("internal invariant violated: {e}"))?;
+    println!("network: {net}");
+    println!(
+        "mapping: {} crossbars ({} connections), {} discrete synapses, outlier ratio {:.2}%",
+        mapping.crossbars().len(),
+        mapping.realized_connections(),
+        mapping.outliers().len(),
+        mapping.outlier_ratio() * 100.0
+    );
+    println!(
+        "average crossbar utilization: {:.2}%",
+        mapping.average_utilization() * 100.0
+    );
+    println!("size histogram: {:?}", mapping.size_histogram());
+    println!(
+        "isc: {} iterations, stop {:?}",
+        trace.iterations.len(),
+        trace.stop_reason
+    );
+    if let Some(trace_path) = flags.get("trace") {
+        let mut csv = String::from("iteration,clusters,selected,removed,outlier_ratio\n");
+        for it in &trace.iterations {
+            csv.push_str(&format!(
+                "{},{},{},{},{:.4}\n",
+                it.iteration,
+                it.clusters_formed,
+                it.clusters_selected,
+                it.connections_removed,
+                it.outlier_ratio
+            ));
+        }
+        std::fs::write(trace_path, csv).map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+        println!("wrote {trace_path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("compare expects a network file")?;
+    let net = load_net(path)?;
+    let report = framework(&flags)?
+        .compare(&net)
+        .map_err(|e| e.to_string())?;
+    let mut table = CostTable::new();
+    table.push(report.to_row(path.rsplit('/').next().unwrap_or(path)));
+    print!("{table}");
+    Ok(())
+}
+
+fn cmd_implement(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("implement expects a network file")?;
+    let prefix = flags
+        .get("out-prefix")
+        .unwrap_or("autoncs_design")
+        .to_string();
+    let net = load_net(path)?;
+    let result = framework(&flags)?.run(&net).map_err(|e| e.to_string())?;
+    println!(
+        "cost: wirelength {:.1} um, area {:.1} um2, delay {:.3} ns, total {:.1}",
+        result.design.cost.wirelength_um,
+        result.design.cost.area_um2,
+        result.design.cost.average_delay_ns,
+        result.design.cost.total()
+    );
+    let placement_path = format!("{prefix}_placement.ppm");
+    plot::placement_plot(&result.design.netlist, &result.design.placement, 4.0)
+        .write_ppm(File::create(&placement_path).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    println!("wrote {placement_path}");
+    let congestion_path = format!("{prefix}_congestion.ppm");
+    plot::congestion_heatmap(&result.design.routing.congestion)
+        .write_ppm(File::create(&congestion_path).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    println!("wrote {congestion_path}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_positionals() {
+        let args = strings(&["net.txt", "--seed", "7", "--max-size", "32"]);
+        let flags = Flags::parse(&args).unwrap();
+        assert_eq!(flags.positional, vec!["net.txt"]);
+        assert_eq!(flags.get("seed"), Some("7"));
+        assert_eq!(flags.get_parsed::<usize>("max-size", 64).unwrap(), 32);
+        assert_eq!(flags.get_parsed::<usize>("absent", 64).unwrap(), 64);
+    }
+
+    #[test]
+    fn flags_report_missing_values() {
+        let args = strings(&["--seed"]);
+        assert!(Flags::parse(&args).unwrap_err().contains("--seed"));
+    }
+
+    #[test]
+    fn repeated_flags_take_the_last_value() {
+        let args = strings(&["--seed", "1", "--seed", "2"]);
+        let flags = Flags::parse(&args).unwrap();
+        assert_eq!(flags.get("seed"), Some("2"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_map_compare_roundtrip() {
+        let dir = std::env::temp_dir().join("autoncs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        let net_str = net_path.to_str().unwrap().to_string();
+        run(&strings(&[
+            "gen",
+            "--kind",
+            "clusters",
+            "--neurons",
+            "48",
+            "--out",
+            &net_str,
+        ]))
+        .unwrap();
+        run(&strings(&["map", &net_str, "--max-size", "24"])).unwrap();
+        let trace_path = dir.join("trace.csv");
+        run(&strings(&[
+            "map",
+            &net_str,
+            "--max-size",
+            "24",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.starts_with("iteration,"));
+        assert!(trace.lines().count() > 1);
+    }
+
+    #[test]
+    fn compare_and_implement_run_end_to_end() {
+        let dir = std::env::temp_dir().join("autoncs_cli_impl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        let net_str = net_path.to_str().unwrap().to_string();
+        run(&strings(&[
+            "gen", "--kind", "clusters", "--neurons", "40", "--out", &net_str,
+        ]))
+        .unwrap();
+        run(&strings(&["compare", &net_str, "--max-size", "16"])).unwrap();
+        let prefix = dir.join("design");
+        let prefix_str = prefix.to_str().unwrap().to_string();
+        run(&strings(&[
+            "implement", &net_str, "--max-size", "16", "--out-prefix", &prefix_str,
+        ]))
+        .unwrap();
+        let placement = std::fs::read(format!("{prefix_str}_placement.ppm")).unwrap();
+        assert!(placement.starts_with(b"P6\n"));
+        let congestion = std::fs::read(format!("{prefix_str}_congestion.ppm")).unwrap();
+        assert!(congestion.starts_with(b"P6\n"));
+    }
+
+    #[test]
+    fn help_prints_without_error() {
+        run(&strings(&["--help"])).unwrap();
+        run(&strings(&["help"])).unwrap();
+    }
+
+    #[test]
+    fn gen_rejects_unknown_kind() {
+        let err = run(&strings(&[
+            "gen",
+            "--kind",
+            "nope",
+            "--neurons",
+            "10",
+            "--out",
+            "/tmp/x.txt",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("nope"));
+    }
+
+    #[test]
+    fn map_reports_missing_file() {
+        let err = run(&strings(&["map", "/definitely/not/there.txt"])).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

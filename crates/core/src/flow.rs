@@ -1,0 +1,272 @@
+use std::error::Error;
+use std::fmt;
+
+use ncs_cluster::{full_crossbar, ClusterError, HybridMapping, Isc, IscOptions, IscTrace};
+use ncs_net::ConnectionMatrix;
+use ncs_phys::{implement_mapping, ImplementOptions, PhysError, PhysicalDesign};
+use ncs_tech::TechnologyModel;
+
+use crate::ComparisonReport;
+
+/// Errors from the end-to-end AutoNCS flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The clustering stage failed.
+    Cluster(ClusterError),
+    /// The physical-design stage failed.
+    Phys(PhysError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Cluster(e) => write!(f, "clustering stage failed: {e}"),
+            FlowError::Phys(e) => write!(f, "physical design stage failed: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Cluster(e) => Some(e),
+            FlowError::Phys(e) => Some(e),
+        }
+    }
+}
+
+impl From<ClusterError> for FlowError {
+    fn from(e: ClusterError) -> Self {
+        FlowError::Cluster(e)
+    }
+}
+
+impl From<PhysError> for FlowError {
+    fn from(e: PhysError) -> Self {
+        FlowError::Phys(e)
+    }
+}
+
+/// Result of running a flow (AutoNCS or baseline) on one network.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The hybrid crossbar/synapse mapping.
+    pub mapping: HybridMapping,
+    /// The ISC iteration trace (empty for the baseline flow).
+    pub trace: Option<IscTrace>,
+    /// The placed-and-routed physical design with its cost.
+    pub design: PhysicalDesign,
+}
+
+/// The AutoNCS framework: configuration plus the Figure 2 flow.
+///
+/// Construct with [`AutoNcs::new`] (paper defaults), [`AutoNcs::fast`]
+/// (reduced effort for tests/examples) or [`AutoNcs::builder`].
+#[derive(Debug, Clone)]
+pub struct AutoNcs {
+    isc: IscOptions,
+    implement: ImplementOptions,
+    tech: TechnologyModel,
+}
+
+impl AutoNcs {
+    /// Paper-default configuration: crossbar sizes 16..=64 step 4,
+    /// baseline-derived utilization threshold, top-25 % CP selection,
+    /// 45 nm technology model, α = β = δ = 1.
+    pub fn new() -> Self {
+        AutoNcs {
+            isc: IscOptions::default(),
+            implement: ImplementOptions::default(),
+            tech: TechnologyModel::nm45(),
+        }
+    }
+
+    /// Reduced-effort configuration (fewer placer iterations) for tests
+    /// and doc examples.
+    pub fn fast() -> Self {
+        AutoNcs {
+            implement: ImplementOptions::fast(),
+            ..Self::new()
+        }
+    }
+
+    /// Starts a builder for custom configurations.
+    pub fn builder() -> AutoNcsBuilder {
+        AutoNcsBuilder::default()
+    }
+
+    /// The ISC options in effect.
+    pub fn isc_options(&self) -> &IscOptions {
+        &self.isc
+    }
+
+    /// The physical-design options in effect.
+    pub fn implement_options(&self) -> &ImplementOptions {
+        &self.implement
+    }
+
+    /// The technology model in effect.
+    pub fn technology(&self) -> &TechnologyModel {
+        &self.tech
+    }
+
+    /// Stage 1 only: cluster the network into a hybrid mapping (with the
+    /// per-iteration ISC trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering failures.
+    pub fn map(&self, net: &ConnectionMatrix) -> Result<(HybridMapping, IscTrace), FlowError> {
+        Ok(Isc::new(self.isc.clone()).run_traced(net)?)
+    }
+
+    /// The full AutoNCS flow: ISC clustering followed by placement,
+    /// routing and cost evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from either stage.
+    pub fn run(&self, net: &ConnectionMatrix) -> Result<FlowResult, FlowError> {
+        let (mapping, trace) = self.map(net)?;
+        let design = implement_mapping(&mapping, &self.tech, &self.implement)?;
+        Ok(FlowResult {
+            mapping,
+            trace: Some(trace),
+            design,
+        })
+    }
+
+    /// The FullCro baseline flow: map everything onto maximum-size
+    /// crossbars, then place and route.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from either stage.
+    pub fn baseline(&self, net: &ConnectionMatrix) -> Result<FlowResult, FlowError> {
+        let mapping = full_crossbar(net, self.isc.sizes.max())?;
+        let design = implement_mapping(&mapping, &self.tech, &self.implement)?;
+        Ok(FlowResult {
+            mapping,
+            trace: None,
+            design,
+        })
+    }
+
+    /// Runs both flows and assembles the Table 1-style comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from either flow.
+    pub fn compare(&self, net: &ConnectionMatrix) -> Result<ComparisonReport, FlowError> {
+        let autoncs = self.run(net)?;
+        let baseline = self.baseline(net)?;
+        Ok(ComparisonReport { autoncs, baseline })
+    }
+}
+
+impl Default for AutoNcs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builder for [`AutoNcs`] configurations.
+///
+/// # Examples
+///
+/// ```
+/// use autoncs::AutoNcs;
+/// use ncs_cluster::{CrossbarSizeSet, IscOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let framework = AutoNcs::builder()
+///     .isc_options(IscOptions {
+///         sizes: CrossbarSizeSet::new([16, 32, 64])?,
+///         seed: 7,
+///         ..IscOptions::default()
+///     })
+///     .build();
+/// assert_eq!(framework.isc_options().sizes.max(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AutoNcsBuilder {
+    isc: Option<IscOptions>,
+    implement: Option<ImplementOptions>,
+    tech: Option<TechnologyModel>,
+}
+
+impl AutoNcsBuilder {
+    /// Overrides the ISC clustering options.
+    pub fn isc_options(mut self, isc: IscOptions) -> Self {
+        self.isc = Some(isc);
+        self
+    }
+
+    /// Overrides the placement/routing/cost options.
+    pub fn implement_options(mut self, implement: ImplementOptions) -> Self {
+        self.implement = Some(implement);
+        self
+    }
+
+    /// Overrides the technology model.
+    pub fn technology(mut self, tech: TechnologyModel) -> Self {
+        self.tech = Some(tech);
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> AutoNcs {
+        AutoNcs {
+            isc: self.isc.unwrap_or_default(),
+            implement: self.implement.unwrap_or_default(),
+            tech: self.tech.unwrap_or_else(TechnologyModel::nm45),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_net::generators;
+
+    #[test]
+    fn fast_flow_end_to_end() {
+        let net = generators::planted_clusters(64, 4, 0.4, 0.02, 5).unwrap().0;
+        let result = AutoNcs::fast().run(&net).unwrap();
+        result.mapping.verify_covers(&net).unwrap();
+        assert!(result.trace.is_some());
+        assert!(result.design.cost.wirelength_um > 0.0);
+    }
+
+    #[test]
+    fn baseline_flow_has_no_trace() {
+        let net = generators::uniform_random(40, 0.06, 3).unwrap();
+        let result = AutoNcs::fast().baseline(&net).unwrap();
+        assert!(result.trace.is_none());
+        assert!(result.mapping.outliers().is_empty());
+    }
+
+    #[test]
+    fn builder_overrides_options() {
+        let framework = AutoNcs::builder()
+            .isc_options(IscOptions {
+                seed: 99,
+                ..IscOptions::default()
+            })
+            .build();
+        assert_eq!(framework.isc_options().seed, 99);
+        assert_eq!(AutoNcs::default().isc_options().seed, 0);
+    }
+
+    #[test]
+    fn flow_error_wraps_sources() {
+        let e: FlowError = ClusterError::EmptySizeSet.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("clustering"));
+        let e: FlowError = PhysError::EmptyNetlist.into();
+        assert!(e.to_string().contains("physical"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Hardware-in-the-loop recall: runs Hopfield dynamics *through* the
+//! hybrid crossbar/synapse implementation produced by ISC, using the
+//! analog device model from [`ncs_xbar`].
+//!
+//! The paper maps networks to hardware but reports functionality only via
+//! the software recognition rate (Section 4.1). This module closes the
+//! loop: every crossbar's contribution to the neuron input field is
+//! computed by a programmed [`SignedCrossbar`] (optionally with IR-drop
+//! and process variation), discrete synapses are ideal point-to-point
+//! weights, and recall proceeds with the usual sign dynamics. The
+//! recognition rate measured this way validates that the *mapping*
+//! preserves network function, not just topology.
+//!
+//! # Examples
+//!
+//! ```
+//! use autoncs::hw::{HardwareModel, EvaluationMode};
+//! use autoncs::AutoNcs;
+//! use ncs_net::{Testbench, TestbenchSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = TestbenchSpec { id: 50, patterns: 3, neurons: 80, sparsity: 0.85 };
+//! let tb = Testbench::from_spec(spec, 7)?;
+//! let (mapping, _) = AutoNcs::new().map(tb.network())?;
+//! let hardware = HardwareModel::build(
+//!     tb.hopfield(),
+//!     &mapping,
+//!     &ncs_xbar::DeviceModel::default(),
+//!     EvaluationMode::Ideal,
+//! )?;
+//! let report = hardware.recognition_rate(tb.patterns(), 0.02, 0.9, 99)?;
+//! assert!(report.rate() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+use ncs_cluster::HybridMapping;
+use ncs_net::{HopfieldNetwork, NetError, PatternSet, RecallOutcome, RecognitionReport};
+use ncs_xbar::{DeviceModel, SignedCrossbar, XbarError};
+
+use std::error::Error;
+use std::fmt;
+
+/// How crossbar outputs are computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvaluationMode {
+    /// Ideal analog dot products (fast; still honours programmed
+    /// conductance quantization and any variation applied).
+    Ideal,
+    /// Full IR-drop nodal analysis per crossbar per step (slow; use on
+    /// small networks).
+    IrDrop,
+    /// Ideal evaluation on conductances perturbed by lognormal process
+    /// variation with the given sigma and seed.
+    IdealWithVariation {
+        /// Lognormal sigma.
+        sigma: f64,
+        /// Variation seed.
+        seed: u64,
+    },
+}
+
+/// Errors from hardware-model construction or recall.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HwError {
+    /// Device-model or evaluation failure.
+    Xbar(XbarError),
+    /// Network-substrate failure.
+    Net(NetError),
+    /// The mapping and the Hopfield network disagree on the neuron count.
+    DimensionMismatch {
+        /// Neurons in the Hopfield network.
+        network: usize,
+        /// Neurons in the mapping.
+        mapping: usize,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::Xbar(e) => write!(f, "crossbar failure: {e}"),
+            HwError::Net(e) => write!(f, "network failure: {e}"),
+            HwError::DimensionMismatch { network, mapping } => write!(
+                f,
+                "hopfield network has {network} neurons but the mapping covers {mapping}"
+            ),
+        }
+    }
+}
+
+impl Error for HwError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HwError::Xbar(e) => Some(e),
+            HwError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XbarError> for HwError {
+    fn from(e: XbarError) -> Self {
+        HwError::Xbar(e)
+    }
+}
+
+impl From<NetError> for HwError {
+    fn from(e: NetError) -> Self {
+        HwError::Net(e)
+    }
+}
+
+/// One programmed crossbar plus the index maps into the global neuron
+/// space.
+#[derive(Debug, Clone)]
+struct MappedCrossbar {
+    inputs: Vec<usize>,
+    outputs: Vec<usize>,
+    array: SignedCrossbar,
+}
+
+/// The hybrid implementation as analog hardware: programmed crossbars plus
+/// ideal discrete synapses.
+#[derive(Debug, Clone)]
+pub struct HardwareModel {
+    neurons: usize,
+    crossbars: Vec<MappedCrossbar>,
+    synapses: Vec<(usize, usize, f64)>,
+    mode: EvaluationMode,
+    /// Converts crossbar output current back into the weight domain:
+    /// `w_max / (v_read · (g_on − g_off))`.
+    current_to_weight: f64,
+    weight_scale: f64,
+}
+
+impl HardwareModel {
+    /// Programs every crossbar of `mapping` with the corresponding
+    /// Hopfield weights (normalized to the maximum weight magnitude) and
+    /// registers outliers as ideal discrete synapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::DimensionMismatch`] if mapping and network
+    /// disagree, and propagates device errors.
+    pub fn build(
+        hopfield: &HopfieldNetwork,
+        mapping: &HybridMapping,
+        device: &DeviceModel,
+        mode: EvaluationMode,
+    ) -> Result<Self, HwError> {
+        let n = hopfield.neurons();
+        if mapping.neurons() != n {
+            return Err(HwError::DimensionMismatch {
+                network: n,
+                mapping: mapping.neurons(),
+            });
+        }
+        let weights = hopfield.weights();
+        let w_max = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| weights[(i, j)].abs())
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
+        let mut crossbars = Vec::with_capacity(mapping.crossbars().len());
+        for assignment in mapping.crossbars() {
+            let inputs = assignment.inputs.clone();
+            let outputs = assignment.outputs.clone();
+            let mut sub = vec![vec![0.0; outputs.len()]; inputs.len()];
+            let col_of = |t: usize| outputs.iter().position(|&o| o == t);
+            let row_of = |f: usize| inputs.iter().position(|&i| i == f);
+            for &(f, t) in &assignment.connections {
+                let (Some(r), Some(c)) = (row_of(f), col_of(t)) else {
+                    continue;
+                };
+                sub[r][c] = weights[(f, t)] / w_max;
+            }
+            let mut array = SignedCrossbar::program(&sub, device)?;
+            if let EvaluationMode::IdealWithVariation { sigma, seed } = mode {
+                array = array.with_variation(
+                    sigma,
+                    seed ^ (crossbars.len() as u64).wrapping_mul(0x2545f4914f6cdd1d),
+                );
+            }
+            crossbars.push(MappedCrossbar {
+                inputs,
+                outputs,
+                array,
+            });
+        }
+        let synapses = mapping
+            .outliers()
+            .iter()
+            .map(|&(f, t)| (f, t, weights[(f, t)]))
+            .collect();
+        let span = device.g_on() - device.g_off();
+        Ok(HardwareModel {
+            neurons: n,
+            crossbars,
+            synapses,
+            mode,
+            current_to_weight: w_max / (device.v_read * span),
+            weight_scale: w_max,
+        })
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Number of programmed crossbars.
+    pub fn crossbar_count(&self) -> usize {
+        self.crossbars.len()
+    }
+
+    /// Computes the neuron input field `h` for a bipolar state through
+    /// the hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::Net`] for a wrong-length state, or propagates
+    /// solver failures in IR-drop mode.
+    pub fn field(&self, state: &[f64]) -> Result<Vec<f64>, HwError> {
+        if state.len() != self.neurons {
+            return Err(NetError::PatternDimensionMismatch {
+                expected: self.neurons,
+                found: state.len(),
+            }
+            .into());
+        }
+        let mut field = vec![0.0; self.neurons];
+        for xbar in &self.crossbars {
+            let inputs: Vec<f64> = xbar.inputs.iter().map(|&i| state[i]).collect();
+            let currents = match self.mode {
+                EvaluationMode::IrDrop => xbar.array.evaluate_ir_drop(&inputs)?,
+                _ => xbar.array.evaluate_ideal(&inputs)?,
+            };
+            for (&t, current) in xbar.outputs.iter().zip(currents) {
+                field[t] += current * self.current_to_weight;
+            }
+        }
+        for &(f, t, w) in &self.synapses {
+            field[t] += w * state[f];
+        }
+        let _ = self.weight_scale;
+        Ok(field)
+    }
+
+    /// Synchronous sign-dynamics recall through the hardware, up to
+    /// `max_steps` steps or a fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HardwareModel::field`].
+    pub fn recall(&self, initial: &[f64], max_steps: usize) -> Result<RecallOutcome, HwError> {
+        let mut state = initial.to_vec();
+        for step in 0..max_steps {
+            let field = self.field(&state)?;
+            let next: Vec<f64> = field
+                .iter()
+                .zip(&state)
+                .map(|(&h, &s)| {
+                    if h > 0.0 {
+                        1.0
+                    } else if h < 0.0 {
+                        -1.0
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            if next == state {
+                return Ok(RecallOutcome {
+                    state,
+                    steps: step,
+                    converged: true,
+                });
+            }
+            state = next;
+        }
+        Ok(RecallOutcome {
+            state,
+            steps: max_steps,
+            converged: false,
+        })
+    }
+
+    /// Recognition rate through the hardware, mirroring
+    /// [`HopfieldNetwork::recognition_rate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates noise-injection and recall errors.
+    pub fn recognition_rate(
+        &self,
+        patterns: &PatternSet,
+        noise_fraction: f64,
+        accept_overlap: f64,
+        seed: u64,
+    ) -> Result<RecognitionReport, HwError> {
+        let mut recognized = 0;
+        for idx in 0..patterns.len() {
+            let noisy = patterns.noisy_pattern(idx, noise_fraction, seed ^ (idx as u64))?;
+            let outcome = self.recall(&noisy, 25)?;
+            if PatternSet::overlap(&outcome.state, patterns.pattern(idx)) >= accept_overlap {
+                recognized += 1;
+            }
+        }
+        Ok(RecognitionReport {
+            recognized,
+            total: patterns.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AutoNcs;
+    use ncs_net::{Testbench, TestbenchSpec};
+
+    fn mini() -> (Testbench, HybridMapping) {
+        let spec = TestbenchSpec {
+            id: 51,
+            patterns: 3,
+            neurons: 90,
+            sparsity: 0.85,
+        };
+        let tb = Testbench::from_spec(spec, 11).unwrap();
+        let (mapping, _) = AutoNcs::new().map(tb.network()).unwrap();
+        (tb, mapping)
+    }
+
+    #[test]
+    fn hardware_field_matches_software_field_in_ideal_mode() {
+        let (tb, mapping) = mini();
+        let hw = HardwareModel::build(
+            tb.hopfield(),
+            &mapping,
+            &DeviceModel::default(),
+            EvaluationMode::Ideal,
+        )
+        .unwrap();
+        // Software field: masked weight matrix times state.
+        let state = tb.patterns().pattern(0);
+        let field = hw.field(state).unwrap();
+        let weights = tb.hopfield().weights();
+        let mask = tb.network();
+        for t in 0..tb.network().neurons() {
+            let expect: f64 = (0..tb.network().neurons())
+                .filter(|&f| mask.is_connected(f, t))
+                .map(|f| weights[(f, t)] * state[f])
+                .sum();
+            assert!(
+                (field[t] - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "neuron {t}: hw {} vs sw {}",
+                field[t],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_recall_matches_software_recognition() {
+        let (tb, mapping) = mini();
+        let hw = HardwareModel::build(
+            tb.hopfield(),
+            &mapping,
+            &DeviceModel::default(),
+            EvaluationMode::Ideal,
+        )
+        .unwrap();
+        let sw = tb.recognition_rate(0.02, 77).unwrap();
+        let hw_rep = hw.recognition_rate(tb.patterns(), 0.02, 0.9, 77).unwrap();
+        assert_eq!(sw.total, hw_rep.total);
+        // The ideal hardware model is numerically equivalent, so rates
+        // must agree exactly.
+        assert_eq!(sw.recognized, hw_rep.recognized);
+    }
+
+    #[test]
+    fn variation_degrades_gracefully() {
+        let (tb, mapping) = mini();
+        let clean = HardwareModel::build(
+            tb.hopfield(),
+            &mapping,
+            &DeviceModel::default(),
+            EvaluationMode::Ideal,
+        )
+        .unwrap();
+        let noisy = HardwareModel::build(
+            tb.hopfield(),
+            &mapping,
+            &DeviceModel::default(),
+            EvaluationMode::IdealWithVariation {
+                sigma: 0.05,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let state = tb.patterns().pattern(1);
+        let f_clean = clean.field(state).unwrap();
+        let f_noisy = noisy.field(state).unwrap();
+        assert_ne!(f_clean, f_noisy);
+        // Small variation keeps the field close.
+        let diff: f64 = f_clean
+            .iter()
+            .zip(&f_noisy)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / f_clean.len() as f64;
+        let scale: f64 = f_clean.iter().map(|v| v.abs()).sum::<f64>() / f_clean.len() as f64;
+        assert!(diff < 0.5 * scale.max(1e-9), "diff {diff} vs scale {scale}");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let (tb, _) = mini();
+        let wrong = HybridMapping::new(10, vec![], vec![]);
+        assert!(matches!(
+            HardwareModel::build(
+                tb.hopfield(),
+                &wrong,
+                &DeviceModel::default(),
+                EvaluationMode::Ideal
+            ),
+            Err(HwError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn field_rejects_wrong_state_length() {
+        let (tb, mapping) = mini();
+        let hw = HardwareModel::build(
+            tb.hopfield(),
+            &mapping,
+            &DeviceModel::default(),
+            EvaluationMode::Ideal,
+        )
+        .unwrap();
+        assert!(hw.field(&[1.0; 3]).is_err());
+    }
+}

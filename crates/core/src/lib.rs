@@ -1,0 +1,64 @@
+//! **AutoNCS** — an EDA framework for large-scale hybrid neuromorphic
+//! computing systems (reproduction of the DAC 2015 paper).
+//!
+//! Given a sparse neural network (a binary connection matrix), AutoNCS:
+//!
+//! 1. iteratively clusters the connections with spectral clustering
+//!    (MSC + GCP + ISC) so that dense groups map onto fixed-size memristor
+//!    crossbars while stragglers become discrete synapses,
+//! 2. generates a mixed-size netlist (crossbars, neurons, synapses) with
+//!    RC-weighted wires,
+//! 3. places it analytically (weighted-average wirelength + density
+//!    penalty, conjugate gradient) and routes it with virtual-capacity
+//!    maze routing, and
+//! 4. reports wirelength, area and delay against the brute-force
+//!    max-size-crossbar baseline ("FullCro").
+//!
+//! # Quickstart
+//!
+//! ```
+//! use autoncs::AutoNcs;
+//! use ncs_net::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small sparse network with hidden cluster structure.
+//! let net = generators::planted_clusters(96, 4, 0.4, 0.01, 7)?.0;
+//!
+//! // Run the full flow (clustering + physical design) and compare with
+//! // the FullCro baseline.
+//! let report = AutoNcs::fast().compare(&net)?;
+//! assert!(report.autoncs.mapping.verify_covers(&net).is_ok());
+//! println!("wirelength reduction: {:.1}%", report.wirelength_reduction() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The crate re-exports the substrate crates under short names so most
+//! users only need `autoncs`:
+//! [`net`] (networks, Hopfield testbenches), [`cluster`] (MSC/GCP/ISC),
+//! [`tech`] (technology models), [`phys`] (placement & routing),
+//! [`linalg`] (numeric kernels).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+pub mod hw;
+pub mod plot;
+mod report;
+
+pub use flow::{AutoNcs, AutoNcsBuilder, FlowError, FlowResult};
+pub use report::{ComparisonReport, CostTable, CostTableRow};
+
+/// Re-export of [`ncs_cluster`].
+pub use ncs_cluster as cluster;
+/// Re-export of [`ncs_linalg`].
+pub use ncs_linalg as linalg;
+/// Re-export of [`ncs_net`].
+pub use ncs_net as net;
+/// Re-export of [`ncs_phys`].
+pub use ncs_phys as phys;
+/// Re-export of [`ncs_tech`].
+pub use ncs_tech as tech;
+/// Re-export of [`ncs_xbar`].
+pub use ncs_xbar as xbar;

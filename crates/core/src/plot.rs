@@ -1,0 +1,382 @@
+//! Plot emitters: portable-anymap (PGM/PPM) renderings of connection
+//! matrices, clusterings, placements and congestion maps.
+//!
+//! The paper's figures are MATLAB scatter/heat plots; this module produces
+//! the same visual artifacts as simple binary-format image files that any
+//! viewer opens, with no plotting dependency. The `repro` harness writes
+//! them next to its CSV output.
+
+use std::io::{self, Write};
+
+use ncs_cluster::HybridMapping;
+use ncs_net::ConnectionMatrix;
+use ncs_phys::{CongestionMap, Netlist, Placement};
+use ncs_tech::CellKind;
+
+/// An RGB raster that serializes as binary PPM (P6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Raster {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 3]>,
+}
+
+impl Raster {
+    /// Creates a raster filled with `background`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize, background: [u8; 3]) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "raster dimensions must be positive"
+        );
+        Raster {
+            width,
+            height,
+            pixels: vec![background; width * height],
+        }
+    }
+
+    /// Raster width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raster height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reads a pixel (out-of-range coordinates return black).
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x]
+        } else {
+            [0, 0, 0]
+        }
+    }
+
+    /// Sets a pixel; out-of-range coordinates are ignored.
+    pub fn set(&mut self, x: usize, y: usize, color: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = color;
+        }
+    }
+
+    /// Fills an axis-aligned rectangle (clipped to the raster).
+    pub fn fill_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize, color: [u8; 3]) {
+        for y in y0..y1.min(self.height) {
+            for x in x0..x1.min(self.width) {
+                self.pixels[y * self.width + x] = color;
+            }
+        }
+    }
+
+    /// Draws a 1-pixel rectangle outline (clipped).
+    pub fn outline_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize, color: [u8; 3]) {
+        if x1 == 0 || y1 == 0 {
+            return;
+        }
+        for x in x0..x1.min(self.width) {
+            self.set(x, y0, color);
+            self.set(x, y1 - 1, color);
+        }
+        for y in y0..y1.min(self.height) {
+            self.set(x0, y, color);
+            self.set(x1 - 1, y, color);
+        }
+    }
+
+    /// Writes the raster as binary PPM (P6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer (a `&mut` reference can be
+    /// passed for writers the caller wants to keep).
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for p in &self.pixels {
+            w.write_all(p)?;
+        }
+        Ok(())
+    }
+}
+
+/// White background, black connection dots — Figure 3(a)-style rendering
+/// of a raw connection matrix.
+pub fn connection_matrix(net: &ConnectionMatrix) -> Raster {
+    let n = net.neurons();
+    let mut raster = Raster::new(n, n, [255, 255, 255]);
+    for (i, j) in net.iter() {
+        raster.set(j, i, [0, 0, 0]);
+    }
+    raster
+}
+
+/// Figure 3(b)/4-style rendering: neurons reordered so each cluster is
+/// contiguous, connections drawn black, cluster extents outlined in red.
+///
+/// `clusters` is a list of neuron groups (as produced by
+/// [`Clustering::iter`](ncs_cluster::Clustering)); neurons missing from
+/// every cluster are appended at the end of the ordering.
+pub fn clustered_matrix<'a, I>(net: &ConnectionMatrix, clusters: I) -> Raster
+where
+    I: IntoIterator<Item = &'a [usize]>,
+{
+    let n = net.neurons();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut bounds = Vec::new();
+    for members in clusters {
+        let start = order.len();
+        order.extend_from_slice(members);
+        bounds.push((start, order.len()));
+    }
+    let mut seen = vec![false; n];
+    for &m in &order {
+        seen[m] = true;
+    }
+    for (m, &was_seen) in seen.iter().enumerate() {
+        if !was_seen {
+            order.push(m);
+        }
+    }
+    let mut position = vec![0usize; n];
+    for (pos, &m) in order.iter().enumerate() {
+        position[m] = pos;
+    }
+    let mut raster = Raster::new(n, n, [255, 255, 255]);
+    // Outlines first so connection pixels stay visible on top of them.
+    for &(s, e) in &bounds {
+        raster.outline_rect(s, s, e, e, [220, 30, 30]);
+    }
+    for (i, j) in net.iter() {
+        raster.set(position[j], position[i], [0, 0, 0]);
+    }
+    raster
+}
+
+/// Figure 6-style rendering of an ISC mapping: connections inside each
+/// crossbar in black with red cluster outlines, outliers in light gray.
+pub fn mapping_matrix(net: &ConnectionMatrix, mapping: &HybridMapping) -> Raster {
+    let n = net.neurons();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut bounds = Vec::new();
+    let mut seen = vec![false; n];
+    for xbar in mapping.crossbars() {
+        let start = order.len();
+        for &m in &xbar.inputs {
+            if !seen[m] {
+                seen[m] = true;
+                order.push(m);
+            }
+        }
+        bounds.push((start, order.len()));
+    }
+    for (m, &was_seen) in seen.clone().iter().enumerate() {
+        if !was_seen {
+            order.push(m);
+        }
+    }
+    let mut position = vec![0usize; n];
+    for (pos, &m) in order.iter().enumerate() {
+        position[m] = pos;
+    }
+    let mut raster = Raster::new(n, n, [255, 255, 255]);
+    // Outlines first so connection pixels stay visible on top of them.
+    for &(s, e) in &bounds {
+        raster.outline_rect(s, s, e, e, [220, 30, 30]);
+    }
+    for &(f, t) in mapping.outliers() {
+        raster.set(position[t], position[f], [170, 170, 170]);
+    }
+    for xbar in mapping.crossbars() {
+        for &(f, t) in &xbar.connections {
+            raster.set(position[t], position[f], [0, 0, 0]);
+        }
+    }
+    raster
+}
+
+/// Figure 10(a)/(c)-style placement plot: crossbars as blue squares
+/// (darker = larger), neurons green, synapses gray, on a white die.
+pub fn placement_plot(netlist: &Netlist, placement: &Placement, pixels_per_um: f64) -> Raster {
+    let (x0, y0, x1, y1) = placement.bounding_box(netlist);
+    let width = (((x1 - x0) * pixels_per_um).ceil() as usize + 2).max(2);
+    let height = (((y1 - y0) * pixels_per_um).ceil() as usize + 2).max(2);
+    let mut raster = Raster::new(width, height, [255, 255, 255]);
+    let to_px = |x: f64, y: f64| -> (usize, usize) {
+        (
+            (((x - x0) * pixels_per_um).round().max(0.0)) as usize,
+            (((y - y0) * pixels_per_um).round().max(0.0)) as usize,
+        )
+    };
+    for cell in &netlist.cells {
+        let cx = placement.x[cell.id];
+        let cy = placement.y[cell.id];
+        let (px0, py0) = to_px(cx - cell.dims.width / 2.0, cy - cell.dims.height / 2.0);
+        let (px1, py1) = to_px(cx + cell.dims.width / 2.0, cy + cell.dims.height / 2.0);
+        let color = match cell.kind {
+            CellKind::Crossbar(s) => {
+                let shade = 200u8.saturating_sub((s as u8).saturating_mul(2));
+                [shade, shade, 255]
+            }
+            CellKind::Neuron => [40, 170, 60],
+            CellKind::Synapse => [150, 150, 150],
+        };
+        raster.fill_rect(px0, py0, px1.max(px0 + 1), py1.max(py0 + 1), color);
+    }
+    raster
+}
+
+/// Figure 10(b)/(d)-style congestion heatmap: white (no wires) through
+/// yellow to red (the most congested bin).
+pub fn congestion_heatmap(map: &CongestionMap) -> Raster {
+    let mut raster = Raster::new(map.cols.max(1), map.rows.max(1), [255, 255, 255]);
+    let max = map.max_usage().max(1) as f64;
+    for row in 0..map.rows {
+        for col in 0..map.cols {
+            let u = map.at(col, row);
+            if u == 0 {
+                continue;
+            }
+            let t = (u as f64 / max).clamp(0.0, 1.0);
+            // White -> yellow -> red ramp.
+            let (r, g, b) = if t < 0.5 {
+                (255.0, 255.0 - 60.0 * (t * 2.0), 240.0 * (1.0 - t * 2.0))
+            } else {
+                (255.0, 195.0 * (1.0 - (t - 0.5) * 2.0), 0.0)
+            };
+            raster.set(col, row, [r as u8, g as u8, b as u8]);
+        }
+    }
+    raster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_cluster::{CrossbarAssignment, HybridMapping};
+
+    #[test]
+    fn raster_roundtrip_and_bounds() {
+        let mut r = Raster::new(4, 3, [255, 255, 255]);
+        r.set(1, 2, [1, 2, 3]);
+        assert_eq!(r.get(1, 2), [1, 2, 3]);
+        assert_eq!(r.get(99, 0), [0, 0, 0]);
+        r.set(99, 99, [9, 9, 9]); // ignored
+        let mut buf = Vec::new();
+        r.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(buf.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_raster_panics() {
+        Raster::new(0, 4, [0, 0, 0]);
+    }
+
+    #[test]
+    fn placement_plot_renders_every_cell_class() {
+        use ncs_phys::{place, Netlist, PlacerOptions};
+        use ncs_tech::TechnologyModel;
+        let xbar = CrossbarAssignment::new(vec![0], vec![0], 16, vec![(0, 0)]);
+        let mapping = HybridMapping::new(2, vec![xbar], vec![(0, 1)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        let r = placement_plot(&nl, &p, 2.0);
+        assert!(r.width() > 1 && r.height() > 1);
+        // Count pixels of each class: crossbar (bluish), neuron (green),
+        // synapse (gray) must all appear.
+        let mut blue = 0;
+        let mut green = 0;
+        let mut gray = 0;
+        for y in 0..r.height() {
+            for x in 0..r.width() {
+                match r.get(x, y) {
+                    [_, _, 255] => blue += 1,
+                    [40, 170, 60] => green += 1,
+                    [150, 150, 150] => gray += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(blue > 0, "crossbar pixels missing");
+        assert!(green > 0, "neuron pixels missing");
+        assert!(gray > 0, "synapse pixels missing");
+        // The big crossbar covers more pixels than the tiny synapse.
+        assert!(blue > gray);
+    }
+
+    #[test]
+    fn fill_and_outline_clip_to_bounds() {
+        let mut r = Raster::new(5, 5, [255, 255, 255]);
+        r.fill_rect(3, 3, 100, 100, [1, 1, 1]);
+        assert_eq!(r.get(4, 4), [1, 1, 1]);
+        r.outline_rect(0, 0, 100, 100, [2, 2, 2]);
+        assert_eq!(r.get(0, 3), [2, 2, 2]);
+        // Degenerate outlines are no-ops.
+        let before = r.clone();
+        r.outline_rect(2, 2, 0, 0, [9, 9, 9]);
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn connection_matrix_marks_connections() {
+        let net = ConnectionMatrix::from_pairs(5, [(1, 3)]).unwrap();
+        let r = connection_matrix(&net);
+        assert_eq!(r.get(3, 1), [0, 0, 0]);
+        assert_eq!(r.get(1, 3), [255, 255, 255]);
+    }
+
+    #[test]
+    fn clustered_matrix_reorders_members_contiguously() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 2), (2, 0)]).unwrap();
+        // Cluster {0, 2} occupies positions 0..2 after reordering.
+        let clusters: Vec<&[usize]> = vec![&[0, 2][..]];
+        let r = clustered_matrix(&net, clusters);
+        // The (0,2) connection lands inside the top-left 2x2 block.
+        let found = (0..2).any(|y| (0..2).any(|x| r.get(x, y) == [0, 0, 0]));
+        assert!(found);
+        // Outline pixels are red.
+        assert_eq!(r.get(0, 0), [220, 30, 30]);
+    }
+
+    #[test]
+    fn mapping_matrix_separates_outliers() {
+        let net = ConnectionMatrix::from_pairs(4, [(0, 1), (2, 3)]).unwrap();
+        let xbar = CrossbarAssignment::new(vec![0, 1], vec![0, 1], 16, vec![(0, 1)]);
+        let mapping = HybridMapping::new(4, vec![xbar], vec![(2, 3)]);
+        let r = mapping_matrix(&net, &mapping);
+        let mut black = 0;
+        let mut gray = 0;
+        for y in 0..4 {
+            for x in 0..4 {
+                match r.get(x, y) {
+                    [0, 0, 0] => black += 1,
+                    [170, 170, 170] => gray += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(black, 1);
+        assert_eq!(gray, 1);
+    }
+
+    #[test]
+    fn congestion_colors_scale_with_usage() {
+        let map = CongestionMap {
+            cols: 2,
+            rows: 1,
+            theta: 1.0,
+            usage: vec![0, 10],
+        };
+        let r = congestion_heatmap(&map);
+        assert_eq!(r.get(0, 0), [255, 255, 255]);
+        let hot = r.get(1, 0);
+        assert_eq!(hot[0], 255);
+        assert!(hot[1] < 50, "max-usage bin should be red, got {hot:?}");
+    }
+}

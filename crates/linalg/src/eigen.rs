@@ -1,0 +1,607 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// Full eigendecomposition of a real symmetric matrix.
+///
+/// Implements the classic EISPACK pair `tred2` (Householder reduction to
+/// tridiagonal form with accumulation of the orthogonal transform) and
+/// `tql2` (implicit-shift QL iteration). Eigenvalues are returned in
+/// ascending order; the `i`-th column of [`SymmetricEigen::eigenvectors`]
+/// is the unit eigenvector for the `i`-th eigenvalue.
+///
+/// This is exactly the kernel that the MSC step of AutoNCS needs: the
+/// spectral embedding uses the eigenvectors of the graph Laplacian
+/// corresponding to the *smallest* eigenvalues, i.e. the first `k` columns.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_linalg::{DenseMatrix, SymmetricEigen};
+///
+/// # fn main() -> Result<(), ncs_linalg::LinalgError> {
+/// // Path-graph Laplacian on 3 nodes: eigenvalues 0, 1, 3.
+/// let l = DenseMatrix::from_rows(&[
+///     &[1.0, -1.0, 0.0][..],
+///     &[-1.0, 2.0, -1.0][..],
+///     &[0.0, -1.0, 1.0][..],
+/// ])?;
+/// let eig = SymmetricEigen::new(&l)?;
+/// assert!(eig.eigenvalues()[0].abs() < 1e-10);
+/// assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues()[2] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: DenseMatrix,
+}
+
+impl SymmetricEigen {
+    /// Maximum QL iterations per eigenvalue before reporting failure.
+    const MAX_ITER: usize = 64;
+
+    /// Computes the eigendecomposition of a symmetric matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] / [`LinalgError::Empty`] for bad shapes.
+    /// * [`LinalgError::NotSymmetric`] if `a` deviates from symmetry by more
+    ///   than `1e-8 * max_abs`.
+    /// * [`LinalgError::NoConvergence`] if QL iteration stalls (essentially
+    ///   never happens for well-formed input).
+    pub fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        let (r, c) = a.shape();
+        if r == 0 || c == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if r != c {
+            return Err(LinalgError::NotSquare { shape: (r, c) });
+        }
+        let tol = 1e-8 * a.max_abs().max(1.0);
+        for i in 0..r {
+            for j in (i + 1)..r {
+                if (a[(i, j)] - a[(j, i)]).abs() > tol {
+                    return Err(LinalgError::NotSymmetric { at: (i, j) });
+                }
+            }
+        }
+        // Work on the symmetrized copy so that tiny asymmetries cannot bias
+        // the reduction.
+        let n = r;
+        let mut z = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                z[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+            }
+        }
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        tred2(&mut z, &mut d, &mut e);
+        tql2(&mut z, &mut d, &mut e)?;
+        // Sort ascending, permuting eigenvector columns accordingly.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("eigenvalues are finite"));
+        let mut values = Vec::with_capacity(n);
+        let mut vectors = DenseMatrix::zeros(n, n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            values.push(d[old_j]);
+            for i in 0..n {
+                vectors[(i, new_j)] = z[(i, old_j)];
+            }
+        }
+        Ok(SymmetricEigen {
+            eigenvalues: values,
+            eigenvectors: vectors,
+        })
+    }
+
+    /// Eigenvalues in ascending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Orthogonal matrix whose `i`-th column is the eigenvector for
+    /// `eigenvalues()[i]`.
+    pub fn eigenvectors(&self) -> &DenseMatrix {
+        &self.eigenvectors
+    }
+
+    /// Consumes the decomposition, returning `(eigenvalues, eigenvectors)`.
+    pub fn into_parts(self) -> (Vec<f64>, DenseMatrix) {
+        (self.eigenvalues, self.eigenvectors)
+    }
+}
+
+/// Solution of the generalized symmetric eigenproblem `L u = λ D u` with a
+/// **diagonal** `D`, as used by normalized spectral clustering (Shi–Malik).
+///
+/// The problem is whitened into the ordinary symmetric problem
+/// `D^{-1/2} L D^{-1/2} v = λ v` with `u = D^{-1/2} v`. Diagonal entries of
+/// `D` that are zero (isolated graph nodes) are clamped to 1.0, which leaves
+/// the corresponding rows of `L` untouched (they are all-zero anyway) and
+/// assigns those nodes eigenvalue 0 — the standard guard in spectral
+/// clustering implementations.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_linalg::{DenseMatrix, GeneralizedEigen};
+///
+/// # fn main() -> Result<(), ncs_linalg::LinalgError> {
+/// // Two disconnected edges: the two smallest generalized eigenvalues are 0.
+/// let l = DenseMatrix::from_rows(&[
+///     &[1.0, -1.0, 0.0, 0.0][..],
+///     &[-1.0, 1.0, 0.0, 0.0][..],
+///     &[0.0, 0.0, 1.0, -1.0][..],
+///     &[0.0, 0.0, -1.0, 1.0][..],
+/// ])?;
+/// let d = vec![1.0, 1.0, 1.0, 1.0];
+/// let ge = GeneralizedEigen::new(&l, &d)?;
+/// assert!(ge.eigenvalues()[0].abs() < 1e-10);
+/// assert!(ge.eigenvalues()[1].abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneralizedEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: DenseMatrix,
+}
+
+impl GeneralizedEigen {
+    /// Solves `L u = λ D u` for symmetric `l` and diagonal `d` (given as the
+    /// vector of diagonal entries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/symmetry errors from [`SymmetricEigen::new`], and
+    /// returns [`LinalgError::DimensionMismatch`] if `d.len() != l.nrows()`.
+    /// Negative diagonal entries yield [`LinalgError::NotPositive`].
+    pub fn new(l: &DenseMatrix, d: &[f64]) -> Result<Self, LinalgError> {
+        let n = l.nrows();
+        if d.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                found: (d.len(), 1),
+            });
+        }
+        if d.iter().any(|&v| v < 0.0) {
+            return Err(LinalgError::NotPositive {
+                what: "degree matrix diagonal",
+            });
+        }
+        let inv_sqrt: Vec<f64> = d
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 1.0 })
+            .collect();
+        let mut b = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = l[(i, j)] * inv_sqrt[i] * inv_sqrt[j];
+            }
+        }
+        let eig = SymmetricEigen::new(&b)?;
+        let (values, mut vectors) = eig.into_parts();
+        // Un-whiten: u = D^{-1/2} v, then renormalize columns so callers get
+        // a well-scaled embedding.
+        for j in 0..n {
+            let mut norm = 0.0;
+            for i in 0..n {
+                vectors[(i, j)] *= inv_sqrt[i];
+                norm += vectors[(i, j)] * vectors[(i, j)];
+            }
+            let norm = norm.sqrt();
+            if norm > 0.0 {
+                for i in 0..n {
+                    vectors[(i, j)] /= norm;
+                }
+            }
+        }
+        Ok(GeneralizedEigen {
+            eigenvalues: values,
+            eigenvectors: vectors,
+        })
+    }
+
+    /// Generalized eigenvalues in ascending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Matrix whose `i`-th column is the generalized eigenvector for
+    /// `eigenvalues()[i]`, normalized to unit Euclidean length.
+    pub fn eigenvectors(&self) -> &DenseMatrix {
+        &self.eigenvectors
+    }
+
+    /// The first `k` eigenvector columns as an `n × k` embedding matrix —
+    /// exactly the `U` matrix of Algorithm 1 (MSC) in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the problem dimension.
+    pub fn embedding(&self, k: usize) -> DenseMatrix {
+        let n = self.eigenvectors.nrows();
+        assert!(
+            k <= n,
+            "requested {k} eigenvectors from a {n}-dimensional problem"
+        );
+        let mut u = DenseMatrix::zeros(n, k);
+        for i in 0..n {
+            for j in 0..k {
+                u[(i, j)] = self.eigenvectors[(i, j)];
+            }
+        }
+        u
+    }
+}
+
+/// Householder reduction of a symmetric matrix (stored in `z`) to
+/// tridiagonal form; `d` receives the diagonal, `e` the subdiagonal
+/// (`e[0]` unused), and `z` is overwritten with the accumulated orthogonal
+/// transformation.
+fn tred2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                let mut f_acc = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g_acc = 0.0;
+                    for k in 0..=j {
+                        g_acc += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g_acc += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g_acc / h;
+                    f_acc += e[j] * z[(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a tridiagonal matrix `(d, e)` with
+/// eigenvector accumulation into `z`.
+pub(crate) fn tql2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small subdiagonal element to split the problem.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > SymmetricEigen::MAX_ITER {
+                return Err(LinalgError::NoConvergence {
+                    kernel: "tql2",
+                    iterations: iter,
+                });
+            }
+            // Form the implicit Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Deflate: recover from underflow and restart this l.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, eig: &SymmetricEigen) -> f64 {
+        let n = a.nrows();
+        let mut worst = 0.0_f64;
+        for j in 0..n {
+            let v = eig.eigenvectors().column(j);
+            let av = a.matvec(&v).unwrap();
+            let lam = eig.eigenvalues()[j];
+            for i in 0..n {
+                worst = worst.max((av[i] - lam * v[i]).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = DenseMatrix::from_rows(&[&[4.2][..]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[4.2]);
+        assert!((eig.eigenvectors()[(0, 0)].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 2.0][..]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-12);
+        assert!(residual(&a, &eig) < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = DenseMatrix::from_rows(&[
+            &[3.0, 0.0, 0.0][..],
+            &[0.0, -1.0, 0.0][..],
+            &[0.0, 0.0, 2.0][..],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] + 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] - 2.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = DenseMatrix::zeros(4, 4);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(eig.eigenvalues().iter().all(|v| v.abs() < 1e-14));
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0][..], &[0.0, 1.0][..]]).unwrap();
+        assert!(matches!(
+            SymmetricEigen::new(&a),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(matches!(
+            SymmetricEigen::new(&DenseMatrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn laplacian_of_path_graph() {
+        // Known spectrum of the path graph P4 Laplacian: 2 - 2 cos(k*pi/4).
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, -1.0, 0.0, 0.0][..],
+            &[-1.0, 2.0, -1.0, 0.0][..],
+            &[0.0, -1.0, 2.0, -1.0][..],
+            &[0.0, 0.0, -1.0, 1.0][..],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for (k, &lam) in eig.eigenvalues().iter().enumerate() {
+            let expect = 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / 4.0).cos();
+            assert!((lam - expect).abs() < 1e-10, "k={k}: {lam} vs {expect}");
+        }
+        assert!(residual(&a, &eig) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        // Deterministic pseudo-random symmetric matrix.
+        let n = 20;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut state = 0x9e3779b97f4a7c15_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let q = eig.eigenvectors();
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = (0..n).map(|k| q[(k, i)] * q[(k, j)]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "({i},{j}) dot={dot}");
+            }
+        }
+        assert!(residual(&a, &eig) < 1e-8);
+        // Trace equals sum of eigenvalues.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn generalized_reduces_to_ordinary_for_identity_d() {
+        let l = DenseMatrix::from_rows(&[&[2.0, -1.0][..], &[-1.0, 2.0][..]]).unwrap();
+        let ge = GeneralizedEigen::new(&l, &[1.0, 1.0]).unwrap();
+        let se = SymmetricEigen::new(&l).unwrap();
+        for (a, b) in ge.eigenvalues().iter().zip(se.eigenvalues()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn generalized_eigen_residual() {
+        // L = D - W for a triangle graph plus a pendant.
+        let w = DenseMatrix::from_rows(&[
+            &[0.0, 1.0, 1.0, 0.0][..],
+            &[1.0, 0.0, 1.0, 0.0][..],
+            &[1.0, 1.0, 0.0, 1.0][..],
+            &[0.0, 0.0, 1.0, 0.0][..],
+        ])
+        .unwrap();
+        let d: Vec<f64> = (0..4).map(|i| w.row(i).iter().sum()).collect();
+        let mut l = DenseMatrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                l[(i, j)] = if i == j { d[i] } else { 0.0 } - w[(i, j)];
+            }
+        }
+        let ge = GeneralizedEigen::new(&l, &d).unwrap();
+        // Verify L u = lambda D u for every pair.
+        for j in 0..4 {
+            let u = ge.eigenvectors().column(j);
+            let lu = l.matvec(&u).unwrap();
+            let lam = ge.eigenvalues()[j];
+            for i in 0..4 {
+                assert!(
+                    (lu[i] - lam * d[i] * u[i]).abs() < 1e-9,
+                    "col {j} row {i}: {} vs {}",
+                    lu[i],
+                    lam * d[i] * u[i]
+                );
+            }
+        }
+        // Connected graph: exactly one ~zero eigenvalue, all in [0, 2].
+        assert!(ge.eigenvalues()[0].abs() < 1e-10);
+        assert!(ge.eigenvalues()[1] > 1e-6);
+        assert!(*ge.eigenvalues().last().unwrap() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn generalized_handles_isolated_nodes() {
+        // Node 2 is isolated (zero degree).
+        let l = DenseMatrix::from_rows(&[
+            &[1.0, -1.0, 0.0][..],
+            &[-1.0, 1.0, 0.0][..],
+            &[0.0, 0.0, 0.0][..],
+        ])
+        .unwrap();
+        let ge = GeneralizedEigen::new(&l, &[1.0, 1.0, 0.0]).unwrap();
+        assert!(ge.eigenvalues()[0].abs() < 1e-10);
+        assert!(ge.eigenvalues()[1].abs() < 1e-10);
+    }
+
+    #[test]
+    fn generalized_rejects_bad_inputs() {
+        let l = DenseMatrix::identity(2);
+        assert!(GeneralizedEigen::new(&l, &[1.0]).is_err());
+        assert!(matches!(
+            GeneralizedEigen::new(&l, &[1.0, -2.0]),
+            Err(LinalgError::NotPositive { .. })
+        ));
+    }
+
+    #[test]
+    fn embedding_takes_first_columns() {
+        let l = DenseMatrix::from_rows(&[&[2.0, -1.0][..], &[-1.0, 2.0][..]]).unwrap();
+        let ge = GeneralizedEigen::new(&l, &[1.0, 1.0]).unwrap();
+        let u = ge.embedding(1);
+        assert_eq!(u.shape(), (2, 1));
+        assert_eq!(u[(0, 0)], ge.eigenvectors()[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn embedding_overflow_panics() {
+        let l = DenseMatrix::identity(2);
+        let ge = GeneralizedEigen::new(&l, &[1.0, 1.0]).unwrap();
+        let _ = ge.embedding(3);
+    }
+}

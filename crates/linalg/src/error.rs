@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// What the operation expected (rows, cols).
+        expected: (usize, usize),
+        /// What it was given (rows, cols).
+        found: (usize, usize),
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Actual shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// The operation requires a (numerically) symmetric matrix.
+    NotSymmetric {
+        /// First detected asymmetric entry (row, col).
+        at: (usize, usize),
+    },
+    /// An empty (zero-dimensional) matrix was supplied where data is needed.
+    Empty,
+    /// An iterative kernel failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the kernel that failed.
+        kernel: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Input rows have ragged (unequal) lengths.
+    RaggedRows {
+        /// Index of the first offending row.
+        row: usize,
+    },
+    /// A value that must be strictly positive was zero or negative.
+    NotPositive {
+        /// Description of the offending quantity.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotSymmetric { at } => {
+                write!(f, "matrix is not symmetric at ({}, {})", at.0, at.1)
+            }
+            LinalgError::Empty => write!(f, "matrix has zero dimension"),
+            LinalgError::NoConvergence { kernel, iterations } => {
+                write!(
+                    f,
+                    "{kernel} failed to converge after {iterations} iterations"
+                )
+            }
+            LinalgError::RaggedRows { row } => {
+                write!(f, "input rows have unequal lengths starting at row {row}")
+            }
+            LinalgError::NotPositive { what } => {
+                write!(f, "{what} must be strictly positive")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::NotSquare { shape: (2, 3) };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+        let e = LinalgError::NoConvergence {
+            kernel: "tql2",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("tql2"));
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

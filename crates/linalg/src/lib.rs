@@ -1,0 +1,52 @@
+//! Linear-algebra substrate for the AutoNCS reproduction.
+//!
+//! The AutoNCS flow (DAC 2015) needs three numeric kernels that the paper
+//! takes from MATLAB / NTUplace3 and that this crate re-implements from
+//! scratch:
+//!
+//! 1. a **dense symmetric eigensolver** ([`SymmetricEigen`]) used by the
+//!    modified spectral clustering step to solve the generalized
+//!    eigenproblem `L u = λ D u`,
+//! 2. a **nonlinear conjugate-gradient minimizer** ([`optimize::minimize`])
+//!    used by the analytical placer to solve
+//!    `min WL(x, y) + λ · D(x, y)`, and
+//! 3. **sparse matrix** utilities ([`CsrMatrix`]) used to hold large binary
+//!    connection matrices without densifying them.
+//!
+//! Everything is `f64`, allocation-light, and deterministic.
+//!
+//! # Examples
+//!
+//! Solving a small symmetric eigenproblem:
+//!
+//! ```
+//! use ncs_linalg::{DenseMatrix, SymmetricEigen};
+//!
+//! # fn main() -> Result<(), ncs_linalg::LinalgError> {
+//! let a = DenseMatrix::from_rows(&[
+//!     &[2.0, 1.0][..],
+//!     &[1.0, 2.0][..],
+//! ])?;
+//! let eig = SymmetricEigen::new(&a)?;
+//! assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-10);
+//! assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eigen;
+mod error;
+mod lanczos;
+mod matrix;
+pub mod optimize;
+mod sparse;
+pub mod vector;
+
+pub use eigen::{GeneralizedEigen, SymmetricEigen};
+pub use error::LinalgError;
+pub use lanczos::lanczos_largest;
+pub use matrix::DenseMatrix;
+pub use sparse::{CsrMatrix, Triplet};

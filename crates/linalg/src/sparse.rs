@@ -1,0 +1,309 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// A `(row, col, value)` entry used to build sparse matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Entry value.
+    pub value: f64,
+}
+
+impl Triplet {
+    /// Convenience constructor.
+    pub fn new(row: usize, col: usize, value: f64) -> Self {
+        Triplet { row, col, value }
+    }
+}
+
+/// Compressed sparse row matrix over `f64`.
+///
+/// Used to hold large, very sparse binary connection matrices (the paper's
+/// testbenches are > 93 % sparse) without densifying. Duplicate triplets
+/// are summed during construction; explicit zeros are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_linalg::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), ncs_linalg::LinalgError> {
+/// let m = CsrMatrix::from_triplets(2, 3, &[
+///     Triplet::new(0, 1, 2.0),
+///     Triplet::new(1, 2, 3.0),
+/// ])?;
+/// assert_eq!(m.get(0, 1), 2.0);
+/// assert_eq!(m.get(0, 0), 0.0);
+/// assert_eq!(m.nnz(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from triplets, summing duplicates and dropping
+    /// resulting zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if any triplet index is
+    /// out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<Self, LinalgError> {
+        for t in triplets {
+            if t.row >= rows || t.col >= cols {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: (rows, cols),
+                    found: (t.row, t.col),
+                });
+            }
+        }
+        let mut sorted: Vec<Triplet> = triplets.to_vec();
+        sorted.sort_by_key(|a| (a.row, a.col));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut iter = sorted.into_iter().peekable();
+        while let Some(first) = iter.next() {
+            let mut value = first.value;
+            while let Some(next) = iter.peek() {
+                if next.row == first.row && next.col == first.col {
+                    value += next.value;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if value != 0.0 {
+                row_ptr[first.row + 1] += 1;
+                col_idx.push(first.col);
+                values.push(value);
+            }
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from a dense one, dropping entries with
+    /// `|v| <= tol`.
+    pub fn from_dense(m: &DenseMatrix, tol: f64) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..m.nrows() {
+            for j in 0..m.ncols() {
+                if m[(i, j)].abs() > tol {
+                    triplets.push(Triplet::new(i, j, m[(i, j)]));
+                }
+            }
+        }
+        Self::from_triplets(m.nrows(), m.ncols(), &triplets)
+            .expect("indices from a dense matrix are always in range")
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Entry lookup; returns 0.0 for entries not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(col, value)` pairs of a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows()`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Iterator over all stored entries as triplets.
+    pub fn iter(&self) -> impl Iterator<Item = Triplet> + '_ {
+        (0..self.rows)
+            .flat_map(move |r| self.row_entries(r).map(move |(c, v)| Triplet::new(r, c, v)))
+    }
+
+    /// Sparse matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != ncols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.cols, 1),
+                found: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row_entries(r).map(|(c, val)| val * v[c]).sum())
+            .collect())
+    }
+
+    /// Row sums — for a graph adjacency matrix these are the node degrees.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row_entries(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for t in self.iter() {
+            m[(t.row, t.col)] = t.value;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(2, 1, 4.0),
+                Triplet::new(0, 2, 2.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_zeros_dropped() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 0, 2.0),
+                Triplet::new(1, 1, 3.0),
+                Triplet::new(1, 1, -3.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1, "cancelled entries are not stored");
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[Triplet::new(2, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[
+                Triplet::new(0, 1, 2.0),
+                Triplet::new(1, 0, 1.0),
+                Triplet::new(1, 2, -1.0),
+            ],
+        )
+        .unwrap();
+        let v = [1.0, 2.0, 3.0];
+        let sparse = m.matvec(&v).unwrap();
+        let dense = m.to_dense().matvec(&v).unwrap();
+        assert_eq!(sparse, dense);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = DenseMatrix::from_rows(&[&[0.0, 1.5][..], &[2.5, 0.0][..]]).unwrap();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn row_sums_are_degrees() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 1, 1.0),
+                Triplet::new(1, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.row_sums(), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_entries_in_row_order() {
+        let trips = [Triplet::new(1, 0, 5.0), Triplet::new(0, 1, 3.0)];
+        let m = CsrMatrix::from_triplets(2, 2, &trips).unwrap();
+        let collected: Vec<Triplet> = m.iter().collect();
+        assert_eq!(
+            collected,
+            vec![Triplet::new(0, 1, 3.0), Triplet::new(1, 0, 5.0)]
+        );
+    }
+}

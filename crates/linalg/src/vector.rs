@@ -1,0 +1,96 @@
+//! Small vector helpers shared by the optimizer and the placer.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(ncs_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+///
+/// ```
+/// assert_eq!(ncs_linalg::vector::norm(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm (maximum absolute entry; 0.0 for an empty slice).
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[0.0, 0.0]), 0.0);
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use ncs_linalg::{CsrMatrix, DenseMatrix, GeneralizedEigen, SymmetricEigen, Triplet};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric matrix of dimension 1..=12 with entries in
+/// [-5, 5].
+fn symmetric_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..=12).prop_flat_map(|n| {
+        proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |data| {
+            let mut m = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let v = data[i * n + j];
+                    m[(i, j)] = v;
+                    m[(j, i)] = v;
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Strategy: a random binary adjacency matrix (undirected, no self-loops).
+fn adjacency_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::bool::ANY, n * n).prop_map(move |bits| {
+            let mut m = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if bits[i * n + j] {
+                        m[(i, j)] = 1.0;
+                        m[(j, i)] = 1.0;
+                    }
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigen_trace_equals_eigenvalue_sum(a in symmetric_matrix()) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let trace: f64 = (0..a.nrows()).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn eigen_residual_is_small(a in symmetric_matrix()) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let n = a.nrows();
+        for j in 0..n {
+            let v = eig.eigenvectors().column(j);
+            let av = a.matvec(&v).unwrap();
+            let lam = eig.eigenvalues()[j];
+            for i in 0..n {
+                prop_assert!((av[i] - lam * v[i]).abs() < 1e-7 * (1.0 + a.max_abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted(a in symmetric_matrix()) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for w in eig.eigenvalues().windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_have_unit_norm(a in symmetric_matrix()) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for j in 0..a.nrows() {
+            let v = eig.eigenvectors().column(j);
+            let nrm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!((nrm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn laplacian_generalized_eigenvalues_in_unit_interval(w in adjacency_matrix()) {
+        // Normalized (random-walk) Laplacian spectrum lies in [0, 2].
+        let n = w.nrows();
+        let d: Vec<f64> = (0..n).map(|i| w.row(i).iter().sum()).collect();
+        let mut l = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                l[(i, j)] = if i == j { d[i] } else { 0.0 } - w[(i, j)];
+            }
+        }
+        let ge = GeneralizedEigen::new(&l, &d).unwrap();
+        prop_assert!(ge.eigenvalues()[0] > -1e-8);
+        prop_assert!(*ge.eigenvalues().last().unwrap() < 2.0 + 1e-8);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(
+        n in 1usize..10,
+        entries in proptest::collection::vec((0usize..10, 0usize..10, -3.0f64..3.0), 0..40)
+    ) {
+        let trips: Vec<Triplet> = entries
+            .into_iter()
+            .filter(|(r, c, _)| *r < n && *c < n)
+            .map(|(r, c, v)| Triplet::new(r, c, v))
+            .collect();
+        let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+        let v: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+        let sparse = m.matvec(&v).unwrap();
+        let dense = m.to_dense().matvec(&v).unwrap();
+        for (a, b) in sparse.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_entries(
+        n in 1usize..8,
+        entries in proptest::collection::vec((0usize..8, 0usize..8), 0..20)
+    ) {
+        let trips: Vec<Triplet> = entries
+            .into_iter()
+            .filter(|(r, c)| *r < n && *c < n)
+            .map(|(r, c)| Triplet::new(r, c, 1.0))
+            .collect();
+        let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+        let back = CsrMatrix::from_dense(&m.to_dense(), 0.0);
+        prop_assert_eq!(m, back);
+    }
+}

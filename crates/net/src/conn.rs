@@ -1,0 +1,476 @@
+use std::fmt;
+
+use ncs_linalg::DenseMatrix;
+
+use crate::NetError;
+
+/// A binary `n × n` connection matrix.
+///
+/// Entry `(i, j) == true` means a synapse connects neuron `i` (fan-in side)
+/// to neuron `j` (fan-out side). Following the paper, the *connection
+/// matrix* and the *network* are the same object; all clustering operates
+/// on this structure. Storage is a bit-packed row-major bitmap, so a
+/// 500-neuron network costs ~31 KiB.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_net::ConnectionMatrix;
+///
+/// # fn main() -> Result<(), ncs_net::NetError> {
+/// let mut net = ConnectionMatrix::empty(4)?;
+/// net.connect(0, 1)?;
+/// net.connect(1, 0)?;
+/// assert_eq!(net.connections(), 2);
+/// assert_eq!(net.sparsity(), 1.0 - 2.0 / 16.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConnectionMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl ConnectionMatrix {
+    /// Creates an `n × n` matrix with no connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyRequest`] for `n == 0`.
+    pub fn empty(n: usize) -> Result<Self, NetError> {
+        if n == 0 {
+            return Err(NetError::EmptyRequest {
+                what: "connection matrix",
+            });
+        }
+        let words_per_row = n.div_ceil(64);
+        Ok(ConnectionMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        })
+    }
+
+    /// Builds a matrix from an iterator of `(from, to)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NeuronOutOfRange`] on the first bad index, or
+    /// [`NetError::EmptyRequest`] for `n == 0`.
+    pub fn from_pairs<I>(n: usize, pairs: I) -> Result<Self, NetError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut m = Self::empty(n)?;
+        for (i, j) in pairs {
+            m.connect(i, j)?;
+        }
+        Ok(m)
+    }
+
+    /// Number of neurons `n`.
+    pub fn neurons(&self) -> usize {
+        self.n
+    }
+
+    /// Whether a connection `(from, to)` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn is_connected(&self, from: usize, to: usize) -> bool {
+        assert!(
+            from < self.n && to < self.n,
+            "index ({from},{to}) out of range"
+        );
+        let word = self.bits[from * self.words_per_row + to / 64];
+        (word >> (to % 64)) & 1 == 1
+    }
+
+    /// Adds a connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NeuronOutOfRange`] if an index is out of range.
+    pub fn connect(&mut self, from: usize, to: usize) -> Result<(), NetError> {
+        self.check(from)?;
+        self.check(to)?;
+        self.bits[from * self.words_per_row + to / 64] |= 1 << (to % 64);
+        Ok(())
+    }
+
+    /// Removes a connection (no-op if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NeuronOutOfRange`] if an index is out of range.
+    pub fn disconnect(&mut self, from: usize, to: usize) -> Result<(), NetError> {
+        self.check(from)?;
+        self.check(to)?;
+        self.bits[from * self.words_per_row + to / 64] &= !(1 << (to % 64));
+        Ok(())
+    }
+
+    fn check(&self, idx: usize) -> Result<(), NetError> {
+        if idx >= self.n {
+            Err(NetError::NeuronOutOfRange {
+                index: idx,
+                neurons: self.n,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total number of connections (set bits).
+    pub fn connections(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sparsity per the paper: one minus actual connections over all `n²`
+    /// possible connections.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.connections() as f64 / (self.n * self.n) as f64
+    }
+
+    /// Density, `1 - sparsity`.
+    pub fn density(&self) -> f64 {
+        1.0 - self.sparsity()
+    }
+
+    /// Iterator over the fan-out targets of neuron `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn fanout_of(&self, from: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(from < self.n, "neuron {from} out of range");
+        let row = &self.bits[from * self.words_per_row..(from + 1) * self.words_per_row];
+        let n = self.n;
+        row.iter().enumerate().flat_map(move |(wi, &w)| {
+            BitIter {
+                word: w,
+                base: wi * 64,
+            }
+            .take_while(move |&b| b < n)
+        })
+    }
+
+    /// Number of fan-outs (out-degree) of a neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn fanout(&self, from: usize) -> usize {
+        assert!(from < self.n, "neuron {from} out of range");
+        self.bits[from * self.words_per_row..(from + 1) * self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of fan-ins (in-degree) of a neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn fanin(&self, to: usize) -> usize {
+        assert!(to < self.n, "neuron {to} out of range");
+        (0..self.n).filter(|&i| self.is_connected(i, to)).count()
+    }
+
+    /// `fanin + fanout` of a neuron — the paper's congestion proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` is out of range.
+    pub fn fanin_fanout(&self, neuron: usize) -> usize {
+        self.fanin(neuron) + self.fanout(neuron)
+    }
+
+    /// Iterator over all `(from, to)` connections in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| self.fanout_of(i).map(move |j| (i, j)))
+    }
+
+    /// Whether the matrix is symmetric (every connection has its reverse).
+    pub fn is_symmetric(&self) -> bool {
+        self.iter().all(|(i, j)| self.is_connected(j, i))
+    }
+
+    /// Symmetrized copy: connection `(i, j)` exists if either direction
+    /// exists in `self`. This is the undirected similarity graph MSC
+    /// clusters on.
+    pub fn symmetrized(&self) -> ConnectionMatrix {
+        let mut out = self.clone();
+        for (i, j) in self.iter() {
+            // Indices come from self, so they are in range.
+            out.connect(j, i).expect("indices are in range");
+        }
+        out
+    }
+
+    /// Node degrees of the symmetrized graph, counting each incident
+    /// connection once.
+    pub fn degrees(&self) -> Vec<f64> {
+        let sym = self.symmetrized();
+        (0..self.n).map(|i| sym.fanout(i) as f64).collect()
+    }
+
+    /// Number of connections `(i, j)` with both `i` and `j` inside
+    /// `members` — the within-cluster connections a crossbar would absorb.
+    pub fn connections_within(&self, members: &[usize]) -> usize {
+        let mut mask = vec![false; self.n];
+        for &m in members {
+            if m < self.n {
+                mask[m] = true;
+            }
+        }
+        self.iter().filter(|&(i, j)| mask[i] && mask[j]).count()
+    }
+
+    /// Removes every connection `(i, j)` with both endpoints in `members`
+    /// and returns how many were removed. This is the "delete connections
+    /// within Ai from R" step of ISC (Algorithm 3, line 12).
+    pub fn remove_within(&mut self, members: &[usize]) -> usize {
+        let mut mask = vec![false; self.n];
+        for &m in members {
+            if m < self.n {
+                mask[m] = true;
+            }
+        }
+        let doomed: Vec<(usize, usize)> =
+            self.iter().filter(|&(i, j)| mask[i] && mask[j]).collect();
+        for &(i, j) in &doomed {
+            self.disconnect(i, j).expect("indices are in range");
+        }
+        doomed.len()
+    }
+
+    /// Dense `{0,1}` matrix view (used by the spectral embedding).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.n, self.n);
+        for (i, j) in self.iter() {
+            m[(i, j)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a dense matrix, treating entries with `|v| > tol` as
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyRequest`] for an empty matrix and
+    /// [`NetError::PatternDimensionMismatch`] for a non-square one.
+    pub fn from_dense(m: &DenseMatrix, tol: f64) -> Result<Self, NetError> {
+        if m.nrows() == 0 {
+            return Err(NetError::EmptyRequest {
+                what: "connection matrix",
+            });
+        }
+        if m.nrows() != m.ncols() {
+            return Err(NetError::PatternDimensionMismatch {
+                expected: m.nrows(),
+                found: m.ncols(),
+            });
+        }
+        let mut out = Self::empty(m.nrows())?;
+        for i in 0..m.nrows() {
+            for j in 0..m.ncols() {
+                if m[(i, j)].abs() > tol {
+                    out.connect(i, j)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The union of two networks of the same size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PatternDimensionMismatch`] if sizes differ.
+    pub fn union(&self, other: &ConnectionMatrix) -> Result<ConnectionMatrix, NetError> {
+        if self.n != other.n {
+            return Err(NetError::PatternDimensionMismatch {
+                expected: self.n,
+                found: other.n,
+            });
+        }
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        Ok(out)
+    }
+
+    /// Connections present in `self` but not in `other` (set difference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PatternDimensionMismatch`] if sizes differ.
+    pub fn difference(&self, other: &ConnectionMatrix) -> Result<ConnectionMatrix, NetError> {
+        if self.n != other.n {
+            return Err(NetError::PatternDimensionMismatch {
+                expected: self.n,
+                found: other.n,
+            });
+        }
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for ConnectionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ConnectionMatrix({} neurons, {} connections, sparsity {:.2}%)",
+            self.n,
+            self.connections(),
+            self.sparsity() * 100.0
+        )
+    }
+}
+
+/// Iterator over set-bit positions of a single word.
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_connections() {
+        let m = ConnectionMatrix::empty(5).unwrap();
+        assert_eq!(m.connections(), 0);
+        assert_eq!(m.sparsity(), 1.0);
+        assert!(ConnectionMatrix::empty(0).is_err());
+    }
+
+    #[test]
+    fn connect_disconnect_roundtrip() {
+        let mut m = ConnectionMatrix::empty(100).unwrap();
+        m.connect(3, 77).unwrap();
+        assert!(m.is_connected(3, 77));
+        assert!(!m.is_connected(77, 3));
+        m.disconnect(3, 77).unwrap();
+        assert!(!m.is_connected(3, 77));
+        assert!(m.connect(100, 0).is_err());
+        assert!(m.disconnect(0, 100).is_err());
+    }
+
+    #[test]
+    fn bit_packing_across_word_boundaries() {
+        let mut m = ConnectionMatrix::empty(130).unwrap();
+        for j in [0, 63, 64, 65, 127, 128, 129] {
+            m.connect(1, j).unwrap();
+        }
+        let targets: Vec<usize> = m.fanout_of(1).collect();
+        assert_eq!(targets, vec![0, 63, 64, 65, 127, 128, 129]);
+        assert_eq!(m.fanout(1), 7);
+    }
+
+    #[test]
+    fn fanin_fanout_counts() {
+        let m = ConnectionMatrix::from_pairs(4, [(0, 1), (0, 2), (2, 1), (3, 0)]).unwrap();
+        assert_eq!(m.fanout(0), 2);
+        assert_eq!(m.fanin(1), 2);
+        assert_eq!(m.fanin_fanout(0), 3); // fanin 1 (from 3), fanout 2
+        assert_eq!(m.fanin_fanout(1), 2);
+    }
+
+    #[test]
+    fn iteration_yields_all_pairs() {
+        let pairs = [(0, 1), (1, 0), (2, 2)];
+        let m = ConnectionMatrix::from_pairs(3, pairs).unwrap();
+        let got: Vec<(usize, usize)> = m.iter().collect();
+        assert_eq!(got, vec![(0, 1), (1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn symmetrize_and_check() {
+        let m = ConnectionMatrix::from_pairs(3, [(0, 1)]).unwrap();
+        assert!(!m.is_symmetric());
+        let s = m.symmetrized();
+        assert!(s.is_symmetric());
+        assert_eq!(s.connections(), 2);
+        assert_eq!(s.degrees(), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn within_cluster_counting_and_removal() {
+        let mut m =
+            ConnectionMatrix::from_pairs(5, [(0, 1), (1, 0), (0, 4), (2, 3), (3, 2)]).unwrap();
+        assert_eq!(m.connections_within(&[0, 1]), 2);
+        assert_eq!(m.connections_within(&[0, 1, 4]), 3);
+        assert_eq!(m.connections_within(&[4]), 0);
+        let removed = m.remove_within(&[0, 1]);
+        assert_eq!(removed, 2);
+        assert_eq!(m.connections(), 3);
+        assert!(m.is_connected(0, 4), "cross-cluster connection survives");
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = ConnectionMatrix::from_pairs(3, [(0, 2), (1, 1)]).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 2)], 1.0);
+        assert_eq!(d[(0, 0)], 0.0);
+        let back = ConnectionMatrix::from_dense(&d, 0.5).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = ConnectionMatrix::from_pairs(3, [(0, 1), (1, 2)]).unwrap();
+        let b = ConnectionMatrix::from_pairs(3, [(1, 2), (2, 0)]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.connections(), 3);
+        let d = a.difference(&b).unwrap();
+        assert_eq!(d.connections(), 1);
+        assert!(d.is_connected(0, 1));
+        let c = ConnectionMatrix::empty(4).unwrap();
+        assert!(a.union(&c).is_err());
+        assert!(a.difference(&c).is_err());
+    }
+
+    #[test]
+    fn sparsity_definition_uses_n_squared() {
+        let mut m = ConnectionMatrix::empty(10).unwrap();
+        for j in 0..10 {
+            m.connect(0, j).unwrap();
+        }
+        assert!((m.sparsity() - 0.9).abs() < 1e-12);
+        assert!((m.density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_sparsity() {
+        let m = ConnectionMatrix::empty(4).unwrap();
+        assert!(m.to_string().contains("sparsity"));
+    }
+}

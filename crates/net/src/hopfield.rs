@@ -1,0 +1,470 @@
+use ncs_linalg::DenseMatrix;
+
+use crate::{ConnectionMatrix, NetError, PatternSet};
+
+/// A Hopfield associative memory with real-valued Hebbian weights and an
+/// optional binary connection mask.
+///
+/// The paper's testbenches are "sparse Hopfield networks": a dense Hebbian
+/// weight matrix is *sparsified* by keeping only the strongest-magnitude
+/// synapses until a target sparsity is reached. The surviving synapse
+/// positions form the binary [`ConnectionMatrix`] that AutoNCS maps to
+/// hardware, while the surviving weights still drive recall so the >90 %
+/// recognition-rate claim can be checked.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_net::{HopfieldNetwork, PatternSet};
+///
+/// # fn main() -> Result<(), ncs_net::NetError> {
+/// let patterns = PatternSet::random_qr(5, 120, 11)?;
+/// let mut hopfield = HopfieldNetwork::train(&patterns)?;
+/// hopfield.sparsify_to(0.90)?;
+/// assert!((hopfield.mask().sparsity() - 0.90).abs() < 0.01);
+/// let report = hopfield.recognition_rate(&patterns, 0.05, 0.9, 123)?;
+/// assert!(report.rate() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HopfieldNetwork {
+    weights: DenseMatrix,
+    mask: ConnectionMatrix,
+}
+
+/// Outcome of a single recall run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecallOutcome {
+    /// Final network state.
+    pub state: Vec<f64>,
+    /// Synchronous update steps performed.
+    pub steps: usize,
+    /// Whether a fixed point was reached within the step budget.
+    pub converged: bool,
+}
+
+/// Aggregate result of a recognition-rate measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecognitionReport {
+    /// Patterns recognized (final overlap above the acceptance threshold).
+    pub recognized: usize,
+    /// Patterns tested.
+    pub total: usize,
+}
+
+impl RecognitionReport {
+    /// Recognition rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.recognized as f64 / self.total as f64
+        }
+    }
+}
+
+impl HopfieldNetwork {
+    /// Trains a Hopfield network on a pattern set with the Hebbian
+    /// outer-product rule `W = (1/M) Σ_p x_p x_pᵀ`, zero diagonal. The
+    /// initial mask is fully connected (minus self-connections).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyRequest`] if the pattern set is empty
+    /// (cannot happen for a constructed [`PatternSet`], but guards direct
+    /// misuse).
+    pub fn train(patterns: &PatternSet) -> Result<Self, NetError> {
+        let n = patterns.dimension();
+        if n == 0 || patterns.is_empty() {
+            return Err(NetError::EmptyRequest {
+                what: "hopfield training set",
+            });
+        }
+        let m = patterns.len() as f64;
+        let mut weights = DenseMatrix::zeros(n, n);
+        for p in patterns.iter() {
+            for i in 0..n {
+                let pi = p[i];
+                let row = weights.row_mut(i);
+                for (j, w) in row.iter_mut().enumerate() {
+                    *w += pi * p[j] / m;
+                }
+            }
+        }
+        let mut mask = ConnectionMatrix::empty(n)?;
+        for i in 0..n {
+            weights[(i, i)] = 0.0;
+            for j in 0..n {
+                if i != j {
+                    mask.connect(i, j)?;
+                }
+            }
+        }
+        Ok(HopfieldNetwork { weights, mask })
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.weights.nrows()
+    }
+
+    /// The dense Hebbian weights (diagonal is zero).
+    pub fn weights(&self) -> &DenseMatrix {
+        &self.weights
+    }
+
+    /// The current binary connection mask — the network that AutoNCS maps.
+    pub fn mask(&self) -> &ConnectionMatrix {
+        &self.mask
+    }
+
+    /// Consumes the network and returns the mask.
+    pub fn into_mask(self) -> ConnectionMatrix {
+        self.mask
+    }
+
+    /// Sparsifies the mask to the target sparsity by keeping the
+    /// largest-|weight| symmetric synapse *pairs* (so the mask stays
+    /// symmetric like the underlying Hopfield weights).
+    ///
+    /// The number of kept connections is `round((1 - sparsity) · n²)`
+    /// rounded to an even pair count, matching the paper's sparsity
+    /// definition (actual / all possible connections).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidSparsity`] if `sparsity ∉ [0, 1]`.
+    pub fn sparsify_to(&mut self, sparsity: f64) -> Result<(), NetError> {
+        if !(0.0..=1.0).contains(&sparsity) {
+            return Err(NetError::InvalidSparsity { value: sparsity });
+        }
+        let n = self.neurons();
+        let target_connections = ((1.0 - sparsity) * (n * n) as f64).round() as usize;
+        let target_pairs = target_connections / 2;
+        // Rank upper-triangle pairs by |w|.
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i, j));
+            }
+        }
+        pairs.sort_by(|&(ai, aj), &(bi, bj)| {
+            let wa = self.weights[(ai, aj)].abs();
+            let wb = self.weights[(bi, bj)].abs();
+            wb.partial_cmp(&wa)
+                .expect("hebbian weights are finite")
+                // Deterministic tie-break on index.
+                .then((ai, aj).cmp(&(bi, bj)))
+        });
+        let mut mask = ConnectionMatrix::empty(n)?;
+        for &(i, j) in pairs.iter().take(target_pairs) {
+            mask.connect(i, j)?;
+            mask.connect(j, i)?;
+        }
+        self.mask = mask;
+        Ok(())
+    }
+
+    /// The Hopfield energy of a state under the masked weights:
+    /// `E(s) = -½ Σ_{ij} W_ij·mask_ij·s_i·s_j`.
+    ///
+    /// For symmetric weights, *asynchronous* sign updates never increase
+    /// this energy — the classic Lyapunov argument for Hopfield
+    /// convergence; [`HopfieldNetwork::recall_async`] exercises it and the
+    /// property tests assert it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PatternDimensionMismatch`] for a wrong-length
+    /// state.
+    pub fn energy(&self, state: &[f64]) -> Result<f64, NetError> {
+        let n = self.neurons();
+        if state.len() != n {
+            return Err(NetError::PatternDimensionMismatch {
+                expected: n,
+                found: state.len(),
+            });
+        }
+        let mut e = 0.0;
+        for j in 0..n {
+            for i in self.mask.fanout_of(j) {
+                e += self.weights[(j, i)] * state[j] * state[i];
+            }
+        }
+        Ok(-0.5 * e)
+    }
+
+    /// Asynchronous (one-neuron-at-a-time, round-robin) recall. Each full
+    /// sweep updates every neuron in index order; for symmetric masked
+    /// weights the energy is non-increasing at every single update, so
+    /// this variant always converges to a fixed point (unlike synchronous
+    /// recall, which can 2-cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PatternDimensionMismatch`] for a wrong-length
+    /// state.
+    pub fn recall_async(
+        &self,
+        initial: &[f64],
+        max_sweeps: usize,
+    ) -> Result<RecallOutcome, NetError> {
+        let n = self.neurons();
+        if initial.len() != n {
+            return Err(NetError::PatternDimensionMismatch {
+                expected: n,
+                found: initial.len(),
+            });
+        }
+        let mut state = initial.to_vec();
+        for sweep in 0..max_sweeps {
+            let mut changed = false;
+            for j in 0..n {
+                let mut h = 0.0;
+                for i in self.mask.fanout_of(j) {
+                    h += self.weights[(j, i)] * state[i];
+                }
+                let new = if h > 0.0 {
+                    1.0
+                } else if h < 0.0 {
+                    -1.0
+                } else {
+                    state[j]
+                };
+                if new != state[j] {
+                    state[j] = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(RecallOutcome {
+                    state,
+                    steps: sweep,
+                    converged: true,
+                });
+            }
+        }
+        Ok(RecallOutcome {
+            state,
+            steps: max_sweeps,
+            converged: false,
+        })
+    }
+
+    /// Runs masked synchronous recall from an initial state until a fixed
+    /// point or `max_steps`.
+    ///
+    /// Each step computes `h_j = Σ_i W[i][j] · mask[i][j] · s_i` and sets
+    /// `s_j = sign(h_j)` (keeping the previous value on an exact zero
+    /// field, which avoids oscillating dead neurons).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PatternDimensionMismatch`] if the state length
+    /// differs from the network size.
+    pub fn recall(&self, initial: &[f64], max_steps: usize) -> Result<RecallOutcome, NetError> {
+        let n = self.neurons();
+        if initial.len() != n {
+            return Err(NetError::PatternDimensionMismatch {
+                expected: n,
+                found: initial.len(),
+            });
+        }
+        let mut state = initial.to_vec();
+        let mut next = vec![0.0; n];
+        for step in 0..max_steps {
+            for j in 0..n {
+                let mut h = 0.0;
+                for i in self.mask.fanout_of(j) {
+                    // Mask and weights are symmetric; iterate the sparse
+                    // row of j for O(degree) work.
+                    h += self.weights[(j, i)] * state[i];
+                }
+                next[j] = if h > 0.0 {
+                    1.0
+                } else if h < 0.0 {
+                    -1.0
+                } else {
+                    state[j]
+                };
+            }
+            if next == state {
+                return Ok(RecallOutcome {
+                    state,
+                    steps: step,
+                    converged: true,
+                });
+            }
+            std::mem::swap(&mut state, &mut next);
+        }
+        Ok(RecallOutcome {
+            state,
+            steps: max_steps,
+            converged: false,
+        })
+    }
+
+    /// Measures the recognition rate: every stored pattern is corrupted by
+    /// flipping `noise_fraction` of its bits, recalled for up to 50 steps,
+    /// and counted as recognized when the final overlap with the original
+    /// is at least `accept_overlap`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension and fraction errors from
+    /// [`PatternSet::noisy_pattern`] / [`HopfieldNetwork::recall`].
+    pub fn recognition_rate(
+        &self,
+        patterns: &PatternSet,
+        noise_fraction: f64,
+        accept_overlap: f64,
+        seed: u64,
+    ) -> Result<RecognitionReport, NetError> {
+        let mut recognized = 0;
+        for idx in 0..patterns.len() {
+            let noisy = patterns.noisy_pattern(idx, noise_fraction, seed ^ (idx as u64))?;
+            let outcome = self.recall(&noisy, 50)?;
+            if PatternSet::overlap(&outcome.state, patterns.pattern(idx)) >= accept_overlap {
+                recognized += 1;
+            }
+        }
+        Ok(RecognitionReport {
+            recognized,
+            total: patterns.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_produces_symmetric_zero_diagonal_weights() {
+        let p = PatternSet::random_qr(3, 40, 7).unwrap();
+        let h = HopfieldNetwork::train(&p).unwrap();
+        let w = h.weights();
+        for i in 0..40 {
+            assert_eq!(w[(i, i)], 0.0);
+            for j in 0..40 {
+                assert!((w[(i, j)] - w[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_network_recalls_exact_patterns() {
+        let p = PatternSet::random_qr(3, 80, 21).unwrap();
+        let h = HopfieldNetwork::train(&p).unwrap();
+        for idx in 0..p.len() {
+            let out = h.recall(p.pattern(idx), 10).unwrap();
+            assert!(out.converged);
+            assert!(PatternSet::overlap(&out.state, p.pattern(idx)) > 0.99);
+        }
+    }
+
+    #[test]
+    fn dense_network_corrects_noise() {
+        let p = PatternSet::random_qr(2, 100, 33).unwrap();
+        let h = HopfieldNetwork::train(&p).unwrap();
+        let noisy = p.noisy_pattern(0, 0.1, 5).unwrap();
+        let out = h.recall(&noisy, 20).unwrap();
+        assert!(PatternSet::overlap(&out.state, p.pattern(0)) > 0.95);
+    }
+
+    #[test]
+    fn sparsify_hits_target_and_stays_symmetric() {
+        let p = PatternSet::random_qr(5, 60, 3).unwrap();
+        let mut h = HopfieldNetwork::train(&p).unwrap();
+        h.sparsify_to(0.94).unwrap();
+        assert!(h.mask().is_symmetric());
+        assert!((h.mask().sparsity() - 0.94).abs() < 0.01);
+        assert!(h.sparsify_to(1.5).is_err());
+    }
+
+    #[test]
+    fn sparsify_to_full_sparsity_empties_the_mask() {
+        let p = PatternSet::random_qr(2, 20, 3).unwrap();
+        let mut h = HopfieldNetwork::train(&p).unwrap();
+        h.sparsify_to(1.0).unwrap();
+        assert_eq!(h.mask().connections(), 0);
+    }
+
+    #[test]
+    fn recall_rejects_wrong_dimension() {
+        let p = PatternSet::random_qr(1, 10, 0).unwrap();
+        let h = HopfieldNetwork::train(&p).unwrap();
+        assert!(h.recall(&[1.0; 9], 5).is_err());
+    }
+
+    #[test]
+    fn sparse_network_keeps_high_recognition() {
+        // Moderate load (M = 4 patterns on 150 neurons) survives
+        // top-|w| sparsification well.
+        let p = PatternSet::random_qr(4, 150, 9).unwrap();
+        let mut h = HopfieldNetwork::train(&p).unwrap();
+        h.sparsify_to(0.85).unwrap();
+        let rep = h.recognition_rate(&p, 0.05, 0.9, 1234).unwrap();
+        assert!(rep.rate() >= 0.75, "rate {}", rep.rate());
+        assert_eq!(rep.total, 4);
+    }
+
+    #[test]
+    fn async_recall_never_increases_energy() {
+        let p = PatternSet::random_qr(3, 60, 5).unwrap();
+        let mut h = HopfieldNetwork::train(&p).unwrap();
+        h.sparsify_to(0.8).unwrap();
+        let noisy = p.noisy_pattern(0, 0.2, 9).unwrap();
+        let e_start = h.energy(&noisy).unwrap();
+        let out = h.recall_async(&noisy, 50).unwrap();
+        assert!(out.converged);
+        let e_end = h.energy(&out.state).unwrap();
+        assert!(
+            e_end <= e_start + 1e-12,
+            "energy rose: {e_start} -> {e_end}"
+        );
+    }
+
+    #[test]
+    fn stored_patterns_sit_in_energy_minima() {
+        let p = PatternSet::random_qr(2, 80, 31).unwrap();
+        let h = HopfieldNetwork::train(&p).unwrap();
+        let stored = h.energy(p.pattern(0)).unwrap();
+        let scrambled = p.noisy_pattern(0, 0.5, 3).unwrap();
+        assert!(stored < h.energy(&scrambled).unwrap());
+        assert!(h.energy(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn async_and_sync_recall_agree_on_clean_patterns() {
+        let p = PatternSet::random_qr(3, 60, 8).unwrap();
+        let h = HopfieldNetwork::train(&p).unwrap();
+        for idx in 0..p.len() {
+            let sync = h.recall(p.pattern(idx), 10).unwrap();
+            let asyn = h.recall_async(p.pattern(idx), 10).unwrap();
+            assert_eq!(sync.state, asyn.state);
+        }
+        assert!(h.recall_async(&[1.0; 2], 5).is_err());
+    }
+
+    #[test]
+    fn recognition_report_rate() {
+        assert_eq!(
+            RecognitionReport {
+                recognized: 9,
+                total: 10
+            }
+            .rate(),
+            0.9
+        );
+        assert_eq!(
+            RecognitionReport {
+                recognized: 0,
+                total: 0
+            }
+            .rate(),
+            0.0
+        );
+    }
+}

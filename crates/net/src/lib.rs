@@ -1,0 +1,49 @@
+//! Neural-network substrate for the AutoNCS reproduction.
+//!
+//! The AutoNCS paper (DAC 2015) evaluates its EDA flow on sparse Hopfield
+//! networks that store random quick-response-code patterns. This crate
+//! provides everything needed to regenerate those workloads from scratch:
+//!
+//! * [`ConnectionMatrix`] — the binary `n × n` connection matrix that the
+//!   whole flow operates on ("connection matrix" and "network" are
+//!   interchangeable, exactly as in the paper),
+//! * [`HopfieldNetwork`] — Hebbian training, sparsification to a target
+//!   sparsity, recall dynamics, and recognition-rate measurement,
+//! * [`PatternSet`] — random QR-code-like binary patterns with noise
+//!   injection,
+//! * [`generators`] — additional sparse-network generators (uniform random,
+//!   planted clusters, LDPC-style bipartite graphs) used by tests,
+//!   examples, and ablation benches,
+//! * [`Testbench`] — the paper's three testbenches with their exact
+//!   `(M, N)` factors and sparsities.
+//!
+//! # Examples
+//!
+//! Regenerating paper testbench 2 (the 400-neuron network of Figures 3-6):
+//!
+//! ```
+//! use ncs_net::Testbench;
+//!
+//! let tb = Testbench::paper(2, 42).expect("testbench 2 exists");
+//! let net = tb.network();
+//! assert_eq!(net.neurons(), 400);
+//! // Sparsity matches the paper's 93.59% to within one connection pair.
+//! assert!((net.sparsity() - 0.9359).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conn;
+mod error;
+pub mod generators;
+mod hopfield;
+pub mod io;
+mod patterns;
+mod testbench;
+
+pub use conn::ConnectionMatrix;
+pub use error::NetError;
+pub use hopfield::{HopfieldNetwork, RecallOutcome, RecognitionReport};
+pub use patterns::PatternSet;
+pub use testbench::{Testbench, TestbenchSpec};

@@ -1,0 +1,235 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::NetError;
+
+/// A set of bipolar (`±1`) patterns of a fixed dimension.
+///
+/// The paper's testbenches store "random quick response code patterns" —
+/// random black/white module grids — in Hopfield networks. A QR code
+/// rasterizes to an (approximately) i.i.d. binary vector, which is what
+/// [`PatternSet::random_qr`] generates from a seeded RNG so experiments are
+/// reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_net::PatternSet;
+///
+/// # fn main() -> Result<(), ncs_net::NetError> {
+/// let set = PatternSet::random_qr(15, 300, 7)?;
+/// assert_eq!(set.len(), 15);
+/// assert_eq!(set.dimension(), 300);
+/// assert!(set.pattern(0).iter().all(|&v| v == 1.0 || v == -1.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PatternSet {
+    dimension: usize,
+    patterns: Vec<Vec<f64>>,
+}
+
+impl PatternSet {
+    /// Generates `count` random QR-code-like bipolar patterns of dimension
+    /// `dimension` from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyRequest`] if `count == 0` or
+    /// `dimension == 0`.
+    pub fn random_qr(count: usize, dimension: usize, seed: u64) -> Result<Self, NetError> {
+        if count == 0 || dimension == 0 {
+            return Err(NetError::EmptyRequest {
+                what: "pattern set",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let patterns = (0..count)
+            .map(|_| {
+                (0..dimension)
+                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                    .collect()
+            })
+            .collect();
+        Ok(PatternSet {
+            dimension,
+            patterns,
+        })
+    }
+
+    /// Builds a pattern set from explicit bipolar vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyRequest`] for an empty input and
+    /// [`NetError::PatternDimensionMismatch`] for ragged patterns.
+    pub fn from_vecs(patterns: Vec<Vec<f64>>) -> Result<Self, NetError> {
+        if patterns.is_empty() || patterns[0].is_empty() {
+            return Err(NetError::EmptyRequest {
+                what: "pattern set",
+            });
+        }
+        let dimension = patterns[0].len();
+        for p in &patterns {
+            if p.len() != dimension {
+                return Err(NetError::PatternDimensionMismatch {
+                    expected: dimension,
+                    found: p.len(),
+                });
+            }
+        }
+        Ok(PatternSet {
+            dimension,
+            patterns,
+        })
+    }
+
+    /// Number of patterns `M`.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set holds no patterns (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Pattern dimension `N`.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Borrow of the `idx`-th pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn pattern(&self, idx: usize) -> &[f64] {
+        &self.patterns[idx]
+    }
+
+    /// Iterator over all patterns.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.patterns.iter().map(|p| p.as_slice())
+    }
+
+    /// Copy of `pattern(idx)` with a fraction `flip_fraction` of entries
+    /// sign-flipped at uniformly random positions (without replacement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFraction`] if `flip_fraction` lies outside
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn noisy_pattern(
+        &self,
+        idx: usize,
+        flip_fraction: f64,
+        seed: u64,
+    ) -> Result<Vec<f64>, NetError> {
+        if !(0.0..=1.0).contains(&flip_fraction) {
+            return Err(NetError::InvalidFraction {
+                what: "flip fraction",
+                value: flip_fraction,
+            });
+        }
+        let mut out = self.patterns[idx].clone();
+        let flips = (flip_fraction * self.dimension as f64).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher-Yates: choose `flips` distinct positions.
+        let mut positions: Vec<usize> = (0..self.dimension).collect();
+        for k in 0..flips.min(self.dimension) {
+            let j = rng.gen_range(k..self.dimension);
+            positions.swap(k, j);
+            out[positions[k]] = -out[positions[k]];
+        }
+        Ok(out)
+    }
+
+    /// Normalized overlap `⟨a, b⟩ / N` between two bipolar states — 1.0 for
+    /// identical, -1.0 for inverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn overlap(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "overlap length mismatch");
+        a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>() / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = PatternSet::random_qr(3, 50, 1).unwrap();
+        let b = PatternSet::random_qr(3, 50, 1).unwrap();
+        let c = PatternSet::random_qr(3, 50, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn patterns_are_bipolar_and_roughly_balanced() {
+        let s = PatternSet::random_qr(4, 1000, 99).unwrap();
+        for p in s.iter() {
+            assert!(p.iter().all(|&v| v == 1.0 || v == -1.0));
+            let mean: f64 = p.iter().sum::<f64>() / p.len() as f64;
+            assert!(mean.abs() < 0.15, "mean {mean} too far from 0");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_requests() {
+        assert!(PatternSet::random_qr(0, 10, 0).is_err());
+        assert!(PatternSet::random_qr(10, 0, 0).is_err());
+        assert!(PatternSet::from_vecs(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_vecs_rejects_ragged() {
+        let err = PatternSet::from_vecs(vec![vec![1.0, -1.0], vec![1.0]]).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::PatternDimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn noise_flips_exactly_the_requested_fraction() {
+        let s = PatternSet::random_qr(1, 200, 5).unwrap();
+        let noisy = s.noisy_pattern(0, 0.1, 77).unwrap();
+        let differing = s
+            .pattern(0)
+            .iter()
+            .zip(&noisy)
+            .filter(|(a, b)| *a != *b)
+            .count();
+        assert_eq!(differing, 20);
+        assert!(s.noisy_pattern(0, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let s = PatternSet::random_qr(1, 64, 3).unwrap();
+        assert_eq!(s.noisy_pattern(0, 0.0, 0).unwrap(), s.pattern(0));
+    }
+
+    #[test]
+    fn overlap_extremes() {
+        let a = vec![1.0, 1.0, -1.0, -1.0];
+        let inv: Vec<f64> = a.iter().map(|v| -v).collect();
+        assert_eq!(PatternSet::overlap(&a, &a), 1.0);
+        assert_eq!(PatternSet::overlap(&a, &inv), -1.0);
+    }
+}

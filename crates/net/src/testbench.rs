@@ -1,0 +1,164 @@
+use crate::{ConnectionMatrix, HopfieldNetwork, NetError, PatternSet, RecognitionReport};
+
+/// Specification of one of the paper's testbenches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestbenchSpec {
+    /// Testbench id (1, 2 or 3 in the paper).
+    pub id: usize,
+    /// Number of stored patterns `M`.
+    pub patterns: usize,
+    /// Pattern dimension / network size `N`.
+    pub neurons: usize,
+    /// Target network sparsity (Section 4.1 of the paper).
+    pub sparsity: f64,
+}
+
+impl TestbenchSpec {
+    /// The three specs from Section 4.1: `(M, N)` of (15, 300), (20, 400),
+    /// (30, 500) with sparsities 94.47 %, 93.59 % and 94.39 %.
+    pub const PAPER: [TestbenchSpec; 3] = [
+        TestbenchSpec {
+            id: 1,
+            patterns: 15,
+            neurons: 300,
+            sparsity: 0.9447,
+        },
+        TestbenchSpec {
+            id: 2,
+            patterns: 20,
+            neurons: 400,
+            sparsity: 0.9359,
+        },
+        TestbenchSpec {
+            id: 3,
+            patterns: 30,
+            neurons: 500,
+            sparsity: 0.9439,
+        },
+    ];
+}
+
+/// A fully materialized testbench: the pattern set, the trained sparse
+/// Hopfield network, and its binary connection matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_net::Testbench;
+///
+/// let tb = Testbench::paper(1, 7).expect("testbench 1 exists");
+/// assert_eq!(tb.spec().neurons, 300);
+/// assert!(tb.network().sparsity() > 0.94);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Testbench {
+    spec: TestbenchSpec,
+    patterns: PatternSet,
+    hopfield: HopfieldNetwork,
+}
+
+impl Testbench {
+    /// Builds paper testbench `id ∈ {1, 2, 3}` from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownTestbench`] for other ids.
+    pub fn paper(id: usize, seed: u64) -> Result<Self, NetError> {
+        let spec = *TestbenchSpec::PAPER
+            .iter()
+            .find(|s| s.id == id)
+            .ok_or(NetError::UnknownTestbench { id })?;
+        Self::from_spec(spec, seed)
+    }
+
+    /// Builds a testbench from an arbitrary spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation/training errors for degenerate specs.
+    pub fn from_spec(spec: TestbenchSpec, seed: u64) -> Result<Self, NetError> {
+        let patterns = PatternSet::random_qr(spec.patterns, spec.neurons, seed)?;
+        let mut hopfield = HopfieldNetwork::train(&patterns)?;
+        hopfield.sparsify_to(spec.sparsity)?;
+        Ok(Testbench {
+            spec,
+            patterns,
+            hopfield,
+        })
+    }
+
+    /// The spec this testbench was built from.
+    pub fn spec(&self) -> &TestbenchSpec {
+        &self.spec
+    }
+
+    /// The stored pattern set.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// The trained, sparsified Hopfield network.
+    pub fn hopfield(&self) -> &HopfieldNetwork {
+        &self.hopfield
+    }
+
+    /// The binary connection matrix AutoNCS maps to hardware.
+    pub fn network(&self) -> &ConnectionMatrix {
+        self.hopfield.mask()
+    }
+
+    /// Measures the recognition rate with the paper-style protocol
+    /// (small bit-flip noise, overlap acceptance threshold 0.9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates recall errors (none for a well-formed testbench).
+    pub fn recognition_rate(
+        &self,
+        noise_fraction: f64,
+        seed: u64,
+    ) -> Result<RecognitionReport, NetError> {
+        self.hopfield
+            .recognition_rate(&self.patterns, noise_fraction, 0.9, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_paper_testbenches_match_spec() {
+        for spec in TestbenchSpec::PAPER {
+            let tb = Testbench::paper(spec.id, 42).unwrap();
+            assert_eq!(tb.network().neurons(), spec.neurons);
+            assert_eq!(tb.patterns().len(), spec.patterns);
+            let got = tb.network().sparsity();
+            assert!(
+                (got - spec.sparsity).abs() < 1e-3,
+                "tb{} sparsity {got} vs {}",
+                spec.id,
+                spec.sparsity
+            );
+            assert!(tb.network().is_symmetric());
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_rejected() {
+        assert_eq!(
+            Testbench::paper(4, 0).unwrap_err(),
+            NetError::UnknownTestbench { id: 4 }
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Testbench::paper(1, 5).unwrap();
+        let b = Testbench::paper(1, 5).unwrap();
+        assert_eq!(a.network(), b.network());
+        let c = Testbench::paper(1, 6).unwrap();
+        assert_ne!(a.network(), c.network());
+    }
+}

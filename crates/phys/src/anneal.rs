@@ -1,0 +1,310 @@
+//! Simulated-annealing placement — the classic pre-analytical EDA
+//! baseline, provided as an ablation target for the paper's
+//! conjugate-gradient placer (Algorithm 4).
+//!
+//! The annealer perturbs cell centers directly (random displacement or
+//! pair swap), scores `weighted HPWL + penalty · overlap`, and accepts
+//! uphill moves with the Metropolis criterion under a geometric cooling
+//! schedule. The same mixed-size legalizer finishes both placers, so the
+//! comparison isolates the global-placement strategy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::place::finalize_placement;
+use crate::{Netlist, PhysError, Placement};
+
+/// Options for [`place_annealed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealOptions {
+    /// Geometric cooling factor per stage, in `(0, 1)`.
+    pub cooling: f64,
+    /// Temperature stages.
+    pub stages: usize,
+    /// Moves attempted per stage, as a multiple of the cell count.
+    pub moves_per_cell: usize,
+    /// Weight of the overlap penalty relative to wirelength (ramps up by
+    /// itself as the temperature drops).
+    pub overlap_weight: f64,
+    /// Virtual-width factor matching the analytical placer's routing
+    /// reservation.
+    pub omega: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Legalizer passes for the shared epilogue.
+    pub legalizer_passes: usize,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            cooling: 0.9,
+            stages: 40,
+            moves_per_cell: 20,
+            overlap_weight: 4.0,
+            omega: 1.2,
+            seed: 0,
+            legalizer_passes: 200,
+        }
+    }
+}
+
+impl AnnealOptions {
+    /// Reduced-effort configuration for tests.
+    pub fn fast() -> Self {
+        AnnealOptions {
+            stages: 15,
+            moves_per_cell: 8,
+            ..AnnealOptions::default()
+        }
+    }
+}
+
+/// Places a netlist with simulated annealing and the shared mixed-size
+/// legalization epilogue.
+///
+/// # Errors
+///
+/// Returns [`PhysError::EmptyNetlist`] / [`PhysError::DegenerateWire`] for
+/// malformed netlists and [`PhysError::InvalidOption`] for out-of-range
+/// options.
+pub fn place_annealed(netlist: &Netlist, options: &AnnealOptions) -> Result<Placement, PhysError> {
+    let n = netlist.cells.len();
+    if n == 0 {
+        return Err(PhysError::EmptyNetlist);
+    }
+    for w in &netlist.wires {
+        if w.pins.len() < 2 {
+            return Err(PhysError::DegenerateWire { id: w.id });
+        }
+    }
+    if !(0.0..1.0).contains(&options.cooling) || options.cooling == 0.0 {
+        return Err(PhysError::InvalidOption {
+            what: "cooling",
+            value: options.cooling.to_string(),
+        });
+    }
+    if options.omega < 1.0 {
+        return Err(PhysError::InvalidOption {
+            what: "omega",
+            value: options.omega.to_string(),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    // Initial layout: the same regular grid the analytical placer uses.
+    let total = netlist.total_cell_area() * options.omega * options.omega * 2.0;
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let pitch = (total / n as f64).sqrt().max(1.0);
+    let mut xs: Vec<f64> = (0..n).map(|i| (i % cols) as f64 * pitch).collect();
+    let mut ys: Vec<f64> = (0..n).map(|i| (i / cols) as f64 * pitch).collect();
+
+    // Wires incident to each cell, for incremental HPWL updates.
+    let mut wires_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for w in &netlist.wires {
+        for &p in &w.pins {
+            wires_of[p].push(w.id);
+        }
+    }
+    let hpwl_of = |wid: usize, xs: &[f64], ys: &[f64]| -> f64 {
+        let w = &netlist.wires[wid];
+        let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+        let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &p in &w.pins {
+            x0 = x0.min(xs[p]);
+            x1 = x1.max(xs[p]);
+            y0 = y0.min(ys[p]);
+            y1 = y1.max(ys[p]);
+        }
+        w.weight * ((x1 - x0) + (y1 - y0))
+    };
+    // Overlap of one cell against every other (virtual widths).
+    let widths: Vec<f64> = netlist
+        .cells
+        .iter()
+        .map(|c| c.dims.width * options.omega)
+        .collect();
+    let heights: Vec<f64> = netlist
+        .cells
+        .iter()
+        .map(|c| c.dims.height * options.omega)
+        .collect();
+    let overlap_of = |i: usize, xi: f64, yi: f64, xs: &[f64], ys: &[f64]| -> f64 {
+        let mut total = 0.0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let ox = (widths[i] + widths[j]) / 2.0 - (xi - xs[j]).abs();
+            if ox <= 0.0 {
+                continue;
+            }
+            let oy = (heights[i] + heights[j]) / 2.0 - (yi - ys[j]).abs();
+            if oy > 0.0 {
+                total += ox.min(widths[i].min(widths[j])) * oy.min(heights[i].min(heights[j]));
+            }
+        }
+        total
+    };
+
+    let mut hpwl_total: f64 = (0..netlist.wires.len()).map(|w| hpwl_of(w, &xs, &ys)).sum();
+    let mut overlap_total: f64 = (0..n)
+        .map(|i| overlap_of(i, xs[i], ys[i], &xs, &ys))
+        .sum::<f64>()
+        / 2.0;
+
+    // Auto temperature: accept ~everything at first.
+    let mut temperature = (hpwl_total / (n as f64).max(1.0)).max(1.0);
+    let mut reach = pitch * (cols as f64) / 2.0;
+
+    for stage in 0..options.stages {
+        // The overlap penalty stiffens as the schedule cools.
+        let penalty =
+            options.overlap_weight * (1.0 + stage as f64 / options.stages.max(1) as f64 * 8.0);
+        for _ in 0..options.moves_per_cell * n {
+            let i = rng.gen_range(0..n);
+            let (old_x, old_y) = (xs[i], ys[i]);
+            let new_x = old_x + rng.gen_range(-reach..reach);
+            let new_y = old_y + rng.gen_range(-reach..reach);
+            // Delta cost: wires touching i plus i's pairwise overlap.
+            let old_wl: f64 = wires_of[i].iter().map(|&w| hpwl_of(w, &xs, &ys)).sum();
+            let old_ov = overlap_of(i, old_x, old_y, &xs, &ys);
+            xs[i] = new_x;
+            ys[i] = new_y;
+            let new_wl: f64 = wires_of[i].iter().map(|&w| hpwl_of(w, &xs, &ys)).sum();
+            let new_ov = overlap_of(i, new_x, new_y, &xs, &ys);
+            let delta = (new_wl - old_wl) + penalty * (new_ov - old_ov);
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            if accept {
+                hpwl_total += new_wl - old_wl;
+                overlap_total += new_ov - old_ov;
+            } else {
+                xs[i] = old_x;
+                ys[i] = old_y;
+            }
+        }
+        temperature *= options.cooling;
+        reach = (reach * 0.92).max(pitch * 0.1);
+    }
+    let _ = (hpwl_total, overlap_total);
+
+    Ok(finalize_placement(
+        netlist,
+        xs,
+        ys,
+        options.legalizer_passes,
+        options.stages,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{place, Netlist, PlacerOptions};
+    use ncs_cluster::{CrossbarAssignment, HybridMapping};
+    use ncs_tech::TechnologyModel;
+
+    fn netlist() -> Netlist {
+        let xbar_a = CrossbarAssignment::new(vec![0, 1], vec![0, 1], 16, vec![(0, 1), (1, 0)]);
+        let xbar_b = CrossbarAssignment::new(vec![2, 3], vec![2, 3], 16, vec![(2, 3)]);
+        let mapping = HybridMapping::new(6, vec![xbar_a, xbar_b], vec![(4, 5), (0, 4)]);
+        Netlist::from_mapping(&mapping, &TechnologyModel::nm45())
+    }
+
+    #[test]
+    fn annealed_placement_is_legal() {
+        let nl = netlist();
+        let p = place_annealed(&nl, &AnnealOptions::fast()).unwrap();
+        assert!(p.final_overlap_um2 < 0.02 * nl.total_cell_area());
+        let (x0, y0, _, _) = p.bounding_box(&nl);
+        assert!(x0 > -1e-9 && y0 > -1e-9);
+    }
+
+    #[test]
+    fn annealing_improves_over_the_raw_grid() {
+        let nl = netlist();
+        // A zero-stage anneal degenerates to grid + legalization.
+        let raw = place_annealed(
+            &nl,
+            &AnnealOptions {
+                stages: 0,
+                ..AnnealOptions::fast()
+            },
+        )
+        .unwrap();
+        let cooked = place_annealed(
+            &nl,
+            &AnnealOptions {
+                seed: 5,
+                ..AnnealOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            cooked.weighted_hpwl(&nl) <= raw.weighted_hpwl(&nl) * 1.05,
+            "annealed {} vs raw {}",
+            cooked.weighted_hpwl(&nl),
+            raw.weighted_hpwl(&nl)
+        );
+    }
+
+    #[test]
+    fn comparable_to_analytical_on_small_designs() {
+        let nl = netlist();
+        let analytical = place(&nl, &PlacerOptions::default()).unwrap();
+        let annealed = place_annealed(
+            &nl,
+            &AnnealOptions {
+                seed: 2,
+                ..AnnealOptions::default()
+            },
+        )
+        .unwrap();
+        // Same ballpark (within 2x either way) on a toy design.
+        let a = analytical.weighted_hpwl(&nl).max(1e-9);
+        let b = annealed.weighted_hpwl(&nl).max(1e-9);
+        assert!(a / b < 2.0 && b / a < 3.0, "analytical {a} vs annealed {b}");
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let nl = netlist();
+        assert!(place_annealed(
+            &nl,
+            &AnnealOptions {
+                cooling: 1.0,
+                ..AnnealOptions::fast()
+            }
+        )
+        .is_err());
+        assert!(place_annealed(
+            &nl,
+            &AnnealOptions {
+                cooling: 0.0,
+                ..AnnealOptions::fast()
+            }
+        )
+        .is_err());
+        assert!(place_annealed(
+            &nl,
+            &AnnealOptions {
+                omega: 0.5,
+                ..AnnealOptions::fast()
+            }
+        )
+        .is_err());
+        let empty = Netlist {
+            cells: vec![],
+            wires: vec![],
+        };
+        assert!(place_annealed(&empty, &AnnealOptions::fast()).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let nl = netlist();
+        let a = place_annealed(&nl, &AnnealOptions::fast()).unwrap();
+        let b = place_annealed(&nl, &AnnealOptions::fast()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,146 @@
+use ncs_tech::TechnologyModel;
+
+use crate::{Netlist, Placement, Routing};
+
+/// Weights `(α, β, δ)` of the physical cost function (Eq. 3):
+/// `Cost = α·L + β·A + δ·T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostWeights {
+    /// Weight of total wirelength `L`.
+    pub alpha: f64,
+    /// Weight of chip area `A`.
+    pub beta: f64,
+    /// Weight of average wire delay `T`.
+    pub delta: f64,
+}
+
+impl Default for CostWeights {
+    /// The paper sets `α = β = δ = 1`.
+    fn default() -> Self {
+        CostWeights {
+            alpha: 1.0,
+            beta: 1.0,
+            delta: 1.0,
+        }
+    }
+}
+
+/// The evaluated physical cost of a placed-and-routed design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhysicalCost {
+    /// Total routed wirelength `L`, µm.
+    pub wirelength_um: f64,
+    /// Placement (bounding-box) area `A`, µm².
+    pub area_um2: f64,
+    /// Average wire delay `T`, ns: per-wire Elmore RC of the routed length
+    /// plus the traversal delay of the slower endpoint cell (crossbar line
+    /// RC dominates, so `T` tracks the crossbar size distribution as
+    /// observed in Section 4.3).
+    pub average_delay_ns: f64,
+    /// The weights used.
+    pub weights: CostWeights,
+}
+
+impl PhysicalCost {
+    /// Evaluates Eq. 3 for a design.
+    pub fn evaluate(
+        netlist: &Netlist,
+        placement: &Placement,
+        routing: &Routing,
+        tech: &TechnologyModel,
+        weights: CostWeights,
+    ) -> Self {
+        let area = placement.area_um2(netlist);
+        let mut delay_sum = 0.0;
+        for routed in &routing.routed {
+            let wire = &netlist.wires[routed.wire];
+            let endpoint_delay = wire
+                .pins
+                .iter()
+                .map(|&p| tech.cell_delay_ns(netlist.cells[p].kind))
+                .fold(0.0_f64, f64::max);
+            delay_sum += tech.wire_delay_ns(routed.length_um) + endpoint_delay;
+        }
+        let avg_delay = if routing.routed.is_empty() {
+            0.0
+        } else {
+            delay_sum / routing.routed.len() as f64
+        };
+        PhysicalCost {
+            wirelength_um: routing.total_wirelength_um,
+            area_um2: area,
+            average_delay_ns: avg_delay,
+            weights,
+        }
+    }
+
+    /// The scalar cost `α·L + β·A + δ·T`.
+    pub fn total(&self) -> f64 {
+        self.weights.alpha * self.wirelength_um
+            + self.weights.beta * self.area_um2
+            + self.weights.delta * self.average_delay_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{place, route, Netlist, PlacerOptions, RouterOptions};
+    use ncs_cluster::full_crossbar;
+    use ncs_net::generators;
+
+    #[test]
+    fn cost_components_positive_for_real_design() {
+        let net = generators::uniform_random(25, 0.08, 7).unwrap();
+        let mapping = full_crossbar(&net, 16).unwrap();
+        let tech = TechnologyModel::nm45();
+        let nl = Netlist::from_mapping(&mapping, &tech);
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        let r = route(&nl, &p, &tech, &RouterOptions::default()).unwrap();
+        let cost = PhysicalCost::evaluate(&nl, &p, &r, &tech, CostWeights::default());
+        assert!(cost.wirelength_um > 0.0);
+        assert!(cost.area_um2 > 0.0);
+        assert!(cost.average_delay_ns > 0.0);
+        assert!(
+            (cost.total() - (cost.wirelength_um + cost.area_um2 + cost.average_delay_ns)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn weights_scale_linearly() {
+        let c = PhysicalCost {
+            wirelength_um: 10.0,
+            area_um2: 20.0,
+            average_delay_ns: 3.0,
+            weights: CostWeights {
+                alpha: 2.0,
+                beta: 0.5,
+                delta: 10.0,
+            },
+        };
+        assert!((c.total() - (20.0 + 10.0 + 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossbar_endpoints_dominate_delay() {
+        // A design whose wires all touch 64x64 crossbars must have average
+        // delay near the crossbar traversal delay.
+        let net = generators::uniform_random(64, 0.05, 3).unwrap();
+        let mapping = full_crossbar(&net, 64).unwrap();
+        let tech = TechnologyModel::nm45();
+        let nl = Netlist::from_mapping(&mapping, &tech);
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        let r = route(&nl, &p, &tech, &RouterOptions::default()).unwrap();
+        let cost = PhysicalCost::evaluate(&nl, &p, &r, &tech, CostWeights::default());
+        let d64 = tech.crossbar_delay_ns(64);
+        assert!(
+            cost.average_delay_ns >= d64 && cost.average_delay_ns < d64 * 1.5,
+            "avg {} vs crossbar {}",
+            cost.average_delay_ns,
+            d64
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Physical-design substrate for the AutoNCS reproduction.
+//!
+//! Section 3.5 of the paper describes a customized placement & routing
+//! flow: crossbars, neurons and discrete synapses are mixed-size cells that
+//! need not align into rows; wires carry RC-delay-derived weights; the
+//! placer minimizes a weighted-average (WA) smooth wirelength plus a
+//! density penalty with conjugate gradient (Algorithm 4); and routing is
+//! maze routing on a grid graph with FastRoute-style *virtual capacity*
+//! that is relaxed until every wire routes. The final physical cost is
+//! `α·L + β·A + δ·T` (Eq. 3) over total wirelength, chip area and average
+//! wire delay.
+//!
+//! This crate implements that flow from scratch:
+//!
+//! * [`Netlist`] — cells and weighted wires derived from a
+//!   `HybridMapping` (ncs-cluster) and a `TechnologyModel` (ncs-tech),
+//! * [`place`] — the analytical placer (WA wirelength + finite-support
+//!   smooth density, λ-doubling outer loop, CG inner solver, greedy
+//!   overlap legalization),
+//! * [`route`] — the grid-graph maze router with virtual capacity and
+//!   congestion-map output,
+//! * [`PhysicalCost`] / [`CostWeights`] — the Eq. 3 evaluator,
+//! * [`implement_mapping`] — the one-call flow used by the experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use ncs_cluster::full_crossbar;
+//! use ncs_net::generators;
+//! use ncs_phys::{implement_mapping, ImplementOptions};
+//! use ncs_tech::TechnologyModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = generators::uniform_random(60, 0.05, 3)?;
+//! let mapping = full_crossbar(&net, 16)?;
+//! let design = implement_mapping(&mapping, &TechnologyModel::nm45(),
+//!                                &ImplementOptions::fast())?;
+//! assert!(design.cost.wirelength_um > 0.0);
+//! assert!(design.cost.area_um2 > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod cost;
+mod error;
+mod netlist;
+mod place;
+mod route;
+
+pub use anneal::{place_annealed, AnnealOptions};
+pub use cost::{CostWeights, PhysicalCost};
+pub use error::PhysError;
+pub use netlist::{Cell, CellId, Netlist, Wire, WireId};
+pub use place::{place, Placement, PlacerOptions};
+pub use route::{route, CongestionMap, RouterOptions, Routing};
+
+use ncs_cluster::HybridMapping;
+use ncs_tech::TechnologyModel;
+
+/// Options for the end-to-end [`implement_mapping`] flow.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ImplementOptions {
+    /// Placement options.
+    pub placer: PlacerOptions,
+    /// Routing options.
+    pub router: RouterOptions,
+    /// Cost weights (α, β, δ); the paper sets all three to 1.
+    pub weights: CostWeights,
+    /// Routability-driven re-placement rounds: after routing, if the peak
+    /// bin congestion exceeds [`ImplementOptions::congestion_target`], the
+    /// placer's virtual-width factor ω is inflated by 15 % and the design
+    /// is placed and routed again (keeping the cheapest attempt). 0
+    /// disables the loop (the paper's single-pass flow).
+    pub routability_iterations: usize,
+    /// Peak bin congestion considered acceptable by the routability loop.
+    pub congestion_target: usize,
+}
+
+impl ImplementOptions {
+    /// A reduced-effort configuration for tests and doc examples.
+    pub fn fast() -> Self {
+        ImplementOptions {
+            placer: PlacerOptions::fast(),
+            router: RouterOptions::default(),
+            weights: CostWeights::default(),
+            routability_iterations: 0,
+            congestion_target: usize::MAX,
+        }
+    }
+}
+
+/// A complete physical design: netlist, placement, routing and cost.
+#[derive(Debug, Clone)]
+pub struct PhysicalDesign {
+    /// The placed-and-routed netlist.
+    pub netlist: Netlist,
+    /// Final legalized cell locations.
+    pub placement: Placement,
+    /// Routed wires and congestion data.
+    pub routing: Routing,
+    /// The Eq. 3 cost breakdown.
+    pub cost: PhysicalCost,
+}
+
+/// Runs the full physical-design flow of Section 3.5 on a hybrid mapping:
+/// netlist generation, analytical placement, maze routing, and cost
+/// evaluation — with optional routability-driven re-placement (see
+/// [`ImplementOptions::routability_iterations`]).
+///
+/// # Errors
+///
+/// Propagates [`PhysError`] from any stage (degenerate netlists, routing
+/// failures that survive capacity relaxation, invalid options).
+pub fn implement_mapping(
+    mapping: &HybridMapping,
+    tech: &TechnologyModel,
+    options: &ImplementOptions,
+) -> Result<PhysicalDesign, PhysError> {
+    let netlist = Netlist::from_mapping(mapping, tech);
+    let mut placer = options.placer.clone();
+    let mut best: Option<PhysicalDesign> = None;
+    for round in 0..=options.routability_iterations {
+        let placement = place(&netlist, &placer)?;
+        let routing = route(&netlist, &placement, tech, &options.router)?;
+        let cost = PhysicalCost::evaluate(&netlist, &placement, &routing, tech, options.weights);
+        let congested = routing.congestion.max_usage() > options.congestion_target;
+        let candidate = PhysicalDesign {
+            netlist: netlist.clone(),
+            placement,
+            routing,
+            cost,
+        };
+        let improved = best
+            .as_ref()
+            .is_none_or(|b| candidate.cost.total() < b.cost.total());
+        if improved {
+            best = Some(candidate);
+        }
+        if !congested || round == options.routability_iterations {
+            break;
+        }
+        // Reserve more routing space and try again.
+        placer.omega *= 1.15;
+    }
+    Ok(best.expect("at least one round always runs"))
+}

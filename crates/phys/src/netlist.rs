@@ -1,0 +1,339 @@
+use std::collections::BTreeSet;
+
+use ncs_cluster::HybridMapping;
+use ncs_tech::{CellDims, CellKind, TechnologyModel};
+
+/// Identifier of a cell within a [`Netlist`].
+pub type CellId = usize;
+
+/// Identifier of a wire within a [`Netlist`].
+pub type WireId = usize;
+
+/// A placeable cell: a crossbar, a neuron, or a discrete synapse.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cell {
+    /// Cell id (index into [`Netlist::cells`]).
+    pub id: CellId,
+    /// What the cell is.
+    pub kind: CellKind,
+    /// Physical footprint.
+    pub dims: CellDims,
+    /// For neuron cells, the neuron index in the source network; for
+    /// crossbar cells, the index of the crossbar in the mapping; for
+    /// synapse cells, the index of the outlier connection.
+    pub source: usize,
+}
+
+/// A weighted wire connecting two or more cells.
+///
+/// The netlist generator only emits two-pin wires (neuron ↔ crossbar and
+/// neuron ↔ synapse), but the wirelength models accept arbitrary pin
+/// counts.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Wire {
+    /// Wire id (index into [`Netlist::wires`]).
+    pub id: WireId,
+    /// Connected cells.
+    pub pins: Vec<CellId>,
+    /// RC-delay-derived weight (higher = more timing-critical, shortened
+    /// preferentially by the placer).
+    pub weight: f64,
+}
+
+/// The cell/wire hypergraph that the placer and router operate on.
+///
+/// # Examples
+///
+/// ```
+/// use ncs_cluster::full_crossbar;
+/// use ncs_net::generators;
+/// use ncs_phys::Netlist;
+/// use ncs_tech::TechnologyModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = generators::uniform_random(40, 0.06, 1)?;
+/// let mapping = full_crossbar(&net, 16)?;
+/// let netlist = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+/// // One neuron cell per network neuron plus one cell per crossbar.
+/// assert_eq!(netlist.cells.len(), 40 + mapping.crossbars().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Netlist {
+    /// All cells; `cells[i].id == i`.
+    pub cells: Vec<Cell>,
+    /// All wires; `wires[i].id == i`.
+    pub wires: Vec<Wire>,
+}
+
+impl Netlist {
+    /// Builds the netlist of a hybrid mapping:
+    ///
+    /// * one **neuron** cell per network neuron,
+    /// * one **crossbar** cell per crossbar assignment, wired to every
+    ///   distinct neuron it touches,
+    /// * one **synapse** cell per outlier connection, wired to its source
+    ///   and destination neurons.
+    ///
+    /// Wire weights come from
+    /// [`TechnologyModel::wire_weight`], i.e. RC-delay estimates of the
+    /// endpoints (Section 3.5, Eq. 1: "user-defined various wire weights
+    /// between memristors and crossbars").
+    pub fn from_mapping(mapping: &HybridMapping, tech: &TechnologyModel) -> Self {
+        let mut cells = Vec::new();
+        let mut wires = Vec::new();
+        // Neuron cells first: neuron i -> cell id i.
+        for neuron in 0..mapping.neurons() {
+            cells.push(Cell {
+                id: cells.len(),
+                kind: CellKind::Neuron,
+                dims: tech.dims(CellKind::Neuron),
+                source: neuron,
+            });
+        }
+        for (ci, xbar) in mapping.crossbars().iter().enumerate() {
+            let kind = CellKind::Crossbar(xbar.size);
+            let xbar_cell = cells.len();
+            cells.push(Cell {
+                id: xbar_cell,
+                kind,
+                dims: tech.dims(kind),
+                source: ci,
+            });
+            let touched: BTreeSet<usize> = xbar
+                .inputs
+                .iter()
+                .chain(xbar.outputs.iter())
+                .copied()
+                .collect();
+            for neuron in touched {
+                wires.push(Wire {
+                    id: wires.len(),
+                    pins: vec![neuron, xbar_cell],
+                    weight: tech.wire_weight(CellKind::Neuron, kind),
+                });
+            }
+        }
+        for (oi, &(from, to)) in mapping.outliers().iter().enumerate() {
+            let syn_cell = cells.len();
+            cells.push(Cell {
+                id: syn_cell,
+                kind: CellKind::Synapse,
+                dims: tech.dims(CellKind::Synapse),
+                source: oi,
+            });
+            let weight = tech.wire_weight(CellKind::Neuron, CellKind::Synapse);
+            wires.push(Wire {
+                id: wires.len(),
+                pins: vec![from, syn_cell],
+                weight,
+            });
+            if to != from {
+                wires.push(Wire {
+                    id: wires.len(),
+                    pins: vec![syn_cell, to],
+                    weight,
+                });
+            }
+        }
+        Netlist { cells, wires }
+    }
+
+    /// Builds a **shared-net** netlist: instead of one 2-pin wire per
+    /// neuron/cell pair, each neuron gets a single multi-pin net spanning
+    /// every crossbar and synapse cell it touches — the physically
+    /// accurate model of a neuron's output being one electrical net. The
+    /// router decomposes these nets into Manhattan spanning trees, so this
+    /// model reports lower (more realistic) total wirelength; the default
+    /// pairwise model matches the paper's per-connection accounting. The
+    /// `repro nets` ablation compares both.
+    pub fn from_mapping_shared(mapping: &HybridMapping, tech: &TechnologyModel) -> Self {
+        let pairwise = Self::from_mapping(mapping, tech);
+        let mut nets: Vec<(Vec<CellId>, f64)> = vec![(Vec::new(), 0.0); mapping.neurons()];
+        for wire in &pairwise.wires {
+            // Every generated wire is neuron ↔ device; fold it into the
+            // neuron's net, keeping the heaviest weight.
+            let (&neuron, &device) = match wire.pins.as_slice() {
+                [a, b] if *a < mapping.neurons() => (a, b),
+                [a, b] => (b, a),
+                _ => unreachable!("generator emits 2-pin wires"),
+            };
+            let net = &mut nets[neuron];
+            if !net.0.contains(&device) {
+                net.0.push(device);
+            }
+            net.1 = net.1.max(wire.weight);
+        }
+        let mut wires = Vec::new();
+        for (neuron, (mut devices, weight)) in nets.into_iter().enumerate() {
+            if devices.is_empty() {
+                continue;
+            }
+            let mut pins = vec![neuron];
+            pins.append(&mut devices);
+            wires.push(Wire {
+                id: wires.len(),
+                pins,
+                weight,
+            });
+        }
+        Netlist {
+            cells: pairwise.cells,
+            wires,
+        }
+    }
+
+    /// Total cell area, µm².
+    pub fn total_cell_area(&self) -> f64 {
+        self.cells.iter().map(|c| c.dims.area()).sum()
+    }
+
+    /// Number of cells of each kind: `(crossbars, synapses, neurons)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut x = 0;
+        let mut s = 0;
+        let mut n = 0;
+        for c in &self.cells {
+            match c.kind {
+                CellKind::Crossbar(_) => x += 1,
+                CellKind::Synapse => s += 1,
+                CellKind::Neuron => n += 1,
+            }
+        }
+        (x, s, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_cluster::{full_crossbar, CrossbarAssignment, HybridMapping};
+    use ncs_net::generators;
+
+    #[test]
+    fn cell_ids_are_indices() {
+        let net = generators::uniform_random(30, 0.08, 2).unwrap();
+        let mapping = full_crossbar(&net, 16).unwrap();
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        for (i, c) in nl.cells.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+        for (i, w) in nl.wires.iter().enumerate() {
+            assert_eq!(w.id, i);
+            assert_eq!(w.pins.len(), 2);
+            for &p in &w.pins {
+                assert!(p < nl.cells.len());
+            }
+        }
+    }
+
+    #[test]
+    fn outliers_become_synapse_cells_with_two_wires() {
+        let mapping = HybridMapping::new(4, vec![], vec![(0, 1), (2, 3)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let (x, s, n) = nl.kind_counts();
+        assert_eq!((x, s, n), (0, 2, 4));
+        assert_eq!(nl.wires.len(), 4);
+    }
+
+    #[test]
+    fn self_loop_outlier_gets_single_wire() {
+        let mapping = HybridMapping::new(2, vec![], vec![(1, 1)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        assert_eq!(nl.wires.len(), 1);
+    }
+
+    #[test]
+    fn crossbar_wires_touch_each_distinct_neuron_once() {
+        let xbar = CrossbarAssignment::new(
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            16,
+            vec![(0, 1), (1, 2), (2, 0)],
+        );
+        let mapping = HybridMapping::new(3, vec![xbar], vec![]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        // 3 neurons + 1 crossbar, 3 neuron-to-crossbar wires.
+        assert_eq!(nl.cells.len(), 4);
+        assert_eq!(nl.wires.len(), 3);
+    }
+
+    #[test]
+    fn crossbar_wires_are_heavier_than_synapse_wires() {
+        let xbar = CrossbarAssignment::new(vec![0], vec![0], 64, vec![(0, 0)]);
+        let mapping = HybridMapping::new(2, vec![xbar], vec![(0, 1)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let xbar_wire = nl
+            .wires
+            .iter()
+            .find(|w| w.pins.contains(&2))
+            .expect("crossbar wire exists");
+        let syn_wire = nl
+            .wires
+            .iter()
+            .find(|w| w.pins.contains(&3))
+            .expect("synapse wire exists");
+        assert!(xbar_wire.weight > syn_wire.weight);
+    }
+
+    #[test]
+    fn shared_nets_fold_pairwise_wires_per_neuron() {
+        // Neuron 0 feeds a crossbar and a synapse: one shared net with
+        // three pins instead of two 2-pin wires.
+        let xbar = CrossbarAssignment::new(vec![0, 1], vec![0, 1], 16, vec![(0, 1)]);
+        let mapping = HybridMapping::new(3, vec![xbar], vec![(0, 2)]);
+        let tech = TechnologyModel::nm45();
+        let pairwise = Netlist::from_mapping(&mapping, &tech);
+        let shared = Netlist::from_mapping_shared(&mapping, &tech);
+        assert_eq!(pairwise.cells, shared.cells);
+        assert!(shared.wires.len() < pairwise.wires.len());
+        // Neuron 0's net: crossbar cell (3) + synapse cell (4) + itself.
+        let net0 = shared
+            .wires
+            .iter()
+            .find(|w| w.pins[0] == 0)
+            .expect("net for neuron 0");
+        assert_eq!(net0.pins.len(), 3);
+        // Weight keeps the heaviest (crossbar) class.
+        let xbar_weight = tech.wire_weight(CellKind::Neuron, CellKind::Crossbar(16));
+        assert_eq!(net0.weight, xbar_weight);
+        // Every neuron pin count is conserved as a set.
+        let total_device_pins: usize = shared.wires.iter().map(|w| w.pins.len() - 1).sum();
+        assert_eq!(total_device_pins, pairwise.wires.len());
+    }
+
+    #[test]
+    fn shared_nets_route_and_place() {
+        use crate::{place, route, PlacerOptions, RouterOptions};
+        let net = generators::uniform_random(40, 0.06, 8).unwrap();
+        let mapping = full_crossbar(&net, 16).unwrap();
+        let tech = TechnologyModel::nm45();
+        let shared = Netlist::from_mapping_shared(&mapping, &tech);
+        let p = place(&shared, &PlacerOptions::fast()).unwrap();
+        let r = route(&shared, &p, &tech, &RouterOptions::default()).unwrap();
+        assert_eq!(r.routed.len(), shared.wires.len());
+        // The shared-net model must never cost more wire than pairwise on
+        // the same placement (a spanning tree reuses trunks).
+        let pairwise = Netlist::from_mapping(&mapping, &tech);
+        let rp = route(&pairwise, &p, &tech, &RouterOptions::default()).unwrap();
+        assert!(
+            r.total_wirelength_um <= rp.total_wirelength_um + 1e-9,
+            "shared {} vs pairwise {}",
+            r.total_wirelength_um,
+            rp.total_wirelength_um
+        );
+    }
+
+    #[test]
+    fn total_area_sums_cells() {
+        let mapping = HybridMapping::new(2, vec![], vec![(0, 1)]);
+        let tech = TechnologyModel::nm45();
+        let nl = Netlist::from_mapping(&mapping, &tech);
+        let expect = 2.0 * tech.area(CellKind::Neuron) + tech.area(CellKind::Synapse);
+        assert!((nl.total_cell_area() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1069 @@
+use ncs_linalg::optimize::{minimize, CgOptions};
+
+use crate::{CellId, Netlist, PhysError};
+
+/// Options for the analytical placer (Algorithm 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacerOptions {
+    /// Smoothness `γ` of the weighted-average wirelength model, µm.
+    /// Smaller values track HPWL more closely but are harder to optimize.
+    pub gamma: f64,
+    /// Virtual-width factor `ω ≥ 1`: cells repel each other as if they were
+    /// `ω×` wider/taller, reserving space for routing (Section 3.5).
+    pub omega: f64,
+    /// Multiplier applied to the density penalty `λ` each outer iteration
+    /// (Algorithm 4 line 5 doubles it).
+    pub lambda_multiplier: f64,
+    /// Maximum outer (λ-escalation) iterations.
+    pub max_outer_iterations: usize,
+    /// Stop when the total pairwise overlap area falls below this fraction
+    /// of the total cell area.
+    pub overlap_stop_fraction: f64,
+    /// Conjugate-gradient options for the inner solve.
+    pub cg: CgOptions,
+    /// Maximum pairwise push-apart passes during legalization.
+    pub legalizer_passes: usize,
+    /// Detailed-placement refinement passes after legalization: same-size
+    /// cells are greedily swapped whenever the swap shortens the weighted
+    /// HPWL of their incident wires. Legality is preserved exactly
+    /// (identical footprints exchange positions). 0 disables refinement
+    /// (the default, matching the paper's flow).
+    pub detailed_swap_passes: usize,
+}
+
+impl Default for PlacerOptions {
+    fn default() -> Self {
+        PlacerOptions {
+            gamma: 2.0,
+            omega: 1.2,
+            lambda_multiplier: 2.0,
+            max_outer_iterations: 10,
+            overlap_stop_fraction: 0.05,
+            cg: CgOptions {
+                max_iterations: 120,
+                gradient_tolerance: 1e-4,
+                ..CgOptions::default()
+            },
+            legalizer_passes: 200,
+            detailed_swap_passes: 0,
+        }
+    }
+}
+
+impl PlacerOptions {
+    /// Reduced-effort configuration for tests and doc examples.
+    pub fn fast() -> Self {
+        PlacerOptions {
+            max_outer_iterations: 5,
+            cg: CgOptions {
+                max_iterations: 40,
+                gradient_tolerance: 1e-3,
+                ..CgOptions::default()
+            },
+            legalizer_passes: 80,
+            ..PlacerOptions::default()
+        }
+    }
+}
+
+/// Result of placement: legalized cell-center coordinates.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Placement {
+    /// Cell-center x coordinates, µm (indexed by [`CellId`]).
+    pub x: Vec<f64>,
+    /// Cell-center y coordinates, µm.
+    pub y: Vec<f64>,
+    /// Outer λ-escalation iterations performed.
+    pub outer_iterations: usize,
+    /// Remaining overlap area after legalization, µm².
+    pub final_overlap_um2: f64,
+}
+
+impl Placement {
+    /// Center of cell `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::UnknownCell`] if `id` is out of range.
+    pub fn position(&self, id: CellId) -> Result<(f64, f64), PhysError> {
+        if id >= self.x.len() {
+            return Err(PhysError::UnknownCell { id });
+        }
+        Ok((self.x[id], self.y[id]))
+    }
+
+    /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)` of all
+    /// placed cells including their extents.
+    pub fn bounding_box(&self, netlist: &Netlist) -> (f64, f64, f64, f64) {
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for cell in &netlist.cells {
+            let hw = cell.dims.width / 2.0;
+            let hh = cell.dims.height / 2.0;
+            bb.0 = bb.0.min(self.x[cell.id] - hw);
+            bb.1 = bb.1.min(self.y[cell.id] - hh);
+            bb.2 = bb.2.max(self.x[cell.id] + hw);
+            bb.3 = bb.3.max(self.y[cell.id] + hh);
+        }
+        bb
+    }
+
+    /// Chip (placement bounding-box) area, µm².
+    pub fn area_um2(&self, netlist: &Netlist) -> f64 {
+        let (x0, y0, x1, y1) = self.bounding_box(netlist);
+        ((x1 - x0) * (y1 - y0)).max(0.0)
+    }
+
+    /// Weighted half-perimeter wirelength of the placement, µm.
+    pub fn weighted_hpwl(&self, netlist: &Netlist) -> f64 {
+        netlist
+            .wires
+            .iter()
+            .map(|w| {
+                let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+                let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for &p in &w.pins {
+                    x0 = x0.min(self.x[p]);
+                    x1 = x1.max(self.x[p]);
+                    y0 = y0.min(self.y[p]);
+                    y1 = y1.max(self.y[p]);
+                }
+                w.weight * ((x1 - x0) + (y1 - y0))
+            })
+            .sum()
+    }
+
+    /// Exact pairwise overlap area of the placement, µm².
+    pub fn overlap_area_um2(&self, netlist: &Netlist) -> f64 {
+        overlap_area(netlist, &self.x, &self.y)
+    }
+}
+
+/// Runs the analytical placement of Algorithm 4: starting from a regular
+/// grid, repeatedly minimize `WL(x,y) + λ·D(x,y)` with conjugate gradient,
+/// doubling `λ` until the overlap is small, then legalize the remainder
+/// with pairwise push-apart.
+///
+/// # Errors
+///
+/// Returns [`PhysError::EmptyNetlist`] for a cell-less netlist,
+/// [`PhysError::DegenerateWire`] if a wire has fewer than two pins, and
+/// [`PhysError::InvalidOption`] for out-of-range options.
+pub fn place(netlist: &Netlist, options: &PlacerOptions) -> Result<Placement, PhysError> {
+    let n = netlist.cells.len();
+    if n == 0 {
+        return Err(PhysError::EmptyNetlist);
+    }
+    for w in &netlist.wires {
+        if w.pins.len() < 2 {
+            return Err(PhysError::DegenerateWire { id: w.id });
+        }
+    }
+    if options.gamma <= 0.0 {
+        return Err(PhysError::InvalidOption {
+            what: "gamma",
+            value: options.gamma.to_string(),
+        });
+    }
+    if options.omega < 1.0 {
+        return Err(PhysError::InvalidOption {
+            what: "omega",
+            value: options.omega.to_string(),
+        });
+    }
+    if options.lambda_multiplier <= 1.0 {
+        return Err(PhysError::InvalidOption {
+            what: "lambda_multiplier",
+            value: options.lambda_multiplier.to_string(),
+        });
+    }
+
+    // Line 1 of Algorithm 4: initialize cells at regular grid locations.
+    let (mut xs, mut ys) = initial_grid(netlist, options.omega);
+
+    let total_area = netlist.total_cell_area().max(1e-9);
+    let stop_overlap = options.overlap_stop_fraction * total_area;
+
+    // λ0 = Σ|∂WL| / Σ|∂D| at the initial placement.
+    let mut grad_wl = vec![0.0; 2 * n];
+    let mut grad_d = vec![0.0; 2 * n];
+    let point: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+    wa_wirelength(netlist, &point, options.gamma, Some(&mut grad_wl[..]));
+    density(netlist, &point, options.omega, Some(&mut grad_d[..]));
+    let sum_wl: f64 = grad_wl.iter().map(|g| g.abs()).sum();
+    let sum_d: f64 = grad_d.iter().map(|g| g.abs()).sum();
+    let mut lambda = if sum_d > 0.0 { sum_wl / sum_d } else { 1.0 };
+    if !lambda.is_finite() || lambda <= 0.0 {
+        lambda = 1.0;
+    }
+
+    // Lines 2-6: escalate λ until overlap is under control.
+    let mut outer = 0;
+    for _ in 0..options.max_outer_iterations {
+        outer += 1;
+        let p0: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let gamma = options.gamma;
+        let omega = options.omega;
+        let result = minimize(
+            |p, grad| {
+                grad.fill(0.0);
+                let wl = wa_wirelength(netlist, p, gamma, Some(grad));
+                let mut gd = vec![0.0; p.len()];
+                let d = density(netlist, p, omega, Some(&mut gd[..]));
+                for (g, gd) in grad.iter_mut().zip(&gd) {
+                    *g += lambda * gd;
+                }
+                wl + lambda * d
+            },
+            p0,
+            &options.cg,
+        );
+        xs.copy_from_slice(&result.x[..n]);
+        ys.copy_from_slice(&result.x[n..]);
+        if overlap_area(netlist, &xs, &ys) <= stop_overlap {
+            break;
+        }
+        lambda *= options.lambda_multiplier;
+    }
+
+    // Line 7: process the remaining overlap, then normalize.
+    let mut placement = finalize_placement(netlist, xs, ys, options.legalizer_passes, outer);
+    if options.detailed_swap_passes > 0 {
+        detailed_swap(netlist, &mut placement, options.detailed_swap_passes);
+    }
+    Ok(placement)
+}
+
+/// Greedy detailed placement: exchange positions of same-footprint cells
+/// whenever the swap shortens the weighted HPWL of their incident wires.
+/// Identical footprints make every swap legality-preserving.
+fn detailed_swap(netlist: &Netlist, placement: &mut Placement, passes: usize) {
+    let n = netlist.cells.len();
+    let mut wires_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for w in &netlist.wires {
+        for &p in &w.pins {
+            wires_of[p].push(w.id);
+        }
+    }
+    let hpwl = |wid: usize, xs: &[f64], ys: &[f64]| -> f64 {
+        let w = &netlist.wires[wid];
+        let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+        let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &p in &w.pins {
+            x0 = x0.min(xs[p]);
+            x1 = x1.max(xs[p]);
+            y0 = y0.min(ys[p]);
+            y1 = y1.max(ys[p]);
+        }
+        w.weight * ((x1 - x0) + (y1 - y0))
+    };
+    // Group swappable cells by footprint (quantized to 1e-6 um).
+    let mut groups: std::collections::HashMap<(u64, u64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for cell in &netlist.cells {
+        let key = ((cell.dims.width * 1e6) as u64, (cell.dims.height * 1e6) as u64);
+        groups.entry(key).or_default().push(cell.id);
+    }
+    for _ in 0..passes {
+        let mut improved = false;
+        for members in groups.values() {
+            for (ai, &a) in members.iter().enumerate() {
+                for &b in &members[ai + 1..] {
+                    let before: f64 = wires_of[a]
+                        .iter()
+                        .chain(&wires_of[b])
+                        .map(|&w| hpwl(w, &placement.x, &placement.y))
+                        .sum();
+                    placement.x.swap(a, b);
+                    placement.y.swap(a, b);
+                    let after: f64 = wires_of[a]
+                        .iter()
+                        .chain(&wires_of[b])
+                        .map(|&w| hpwl(w, &placement.x, &placement.y))
+                        .sum();
+                    if after + 1e-12 < before {
+                        improved = true;
+                    } else {
+                        placement.x.swap(a, b);
+                        placement.y.swap(a, b);
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Shared epilogue of both placers (analytical and annealing): mixed-size
+/// legalization (crossbar macros pushed apart and compacted, small cells
+/// gap-filled — the topology of the paper's Figure 10(c)), then a shift to
+/// the positive quadrant.
+pub(crate) fn finalize_placement(
+    netlist: &Netlist,
+    mut xs: Vec<f64>,
+    mut ys: Vec<f64>,
+    legalizer_passes: usize,
+    outer_iterations: usize,
+) -> Placement {
+    legalize_mixed_size(netlist, &mut xs, &mut ys, legalizer_passes);
+
+    // Normalize to the positive quadrant for readability.
+    let min_x = netlist
+        .cells
+        .iter()
+        .map(|c| xs[c.id] - c.dims.width / 2.0)
+        .fold(f64::INFINITY, f64::min);
+    let min_y = netlist
+        .cells
+        .iter()
+        .map(|c| ys[c.id] - c.dims.height / 2.0)
+        .fold(f64::INFINITY, f64::min);
+    for x in &mut xs {
+        *x -= min_x;
+    }
+    for y in &mut ys {
+        *y -= min_y;
+    }
+
+    let final_overlap = overlap_area(netlist, &xs, &ys);
+    Placement {
+        x: xs,
+        y: ys,
+        outer_iterations,
+        final_overlap_um2: final_overlap,
+    }
+}
+
+/// Regular grid initialization, roughly area-balanced.
+fn initial_grid(netlist: &Netlist, omega: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = netlist.cells.len();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let total = netlist.total_cell_area() * omega * omega * 2.0;
+    let pitch = (total / n as f64).sqrt().max(1.0);
+    let mut xs = vec![0.0; n];
+    let mut ys = vec![0.0; n];
+    for cell in &netlist.cells {
+        let r = cell.id / cols;
+        let c = cell.id % cols;
+        xs[cell.id] = c as f64 * pitch;
+        ys[cell.id] = r as f64 * pitch;
+    }
+    (xs, ys)
+}
+
+/// Weighted-average wirelength (Eq. 1) over all wires; optionally
+/// accumulates the gradient into `grad` (layout `[∂x..., ∂y...]`).
+fn wa_wirelength(netlist: &Netlist, p: &[f64], gamma: f64, grad: Option<&mut [f64]>) -> f64 {
+    let n = netlist.cells.len();
+    let (xs, ys) = p.split_at(n);
+    let mut total = 0.0;
+    let mut grad = grad;
+    for wire in &netlist.wires {
+        for (coords, offset) in [(xs, 0usize), (ys, n)] {
+            let (span, derivs) = wa_span(&wire.pins, coords, gamma);
+            total += wire.weight * span;
+            if let Some(g) = grad.as_deref_mut() {
+                for (&pin, d) in wire.pins.iter().zip(&derivs) {
+                    g[offset + pin] += wire.weight * d;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// WA smooth max-minus-min of one coordinate over a pin set, with per-pin
+/// derivatives.
+fn wa_span(pins: &[CellId], coords: &[f64], gamma: f64) -> (f64, Vec<f64>) {
+    let vals: Vec<f64> = pins.iter().map(|&p| coords[p]).collect();
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    // Smooth max side: weights exp((x - max)/γ).
+    let ep: Vec<f64> = vals.iter().map(|&v| ((v - max) / gamma).exp()).collect();
+    let sp: f64 = ep.iter().sum();
+    let sxp: f64 = vals.iter().zip(&ep).map(|(v, e)| v * e).sum();
+    let wa_max = sxp / sp;
+    // Smooth min side: weights exp(-(x - min)/γ).
+    let em: Vec<f64> = vals.iter().map(|&v| (-(v - min) / gamma).exp()).collect();
+    let sm: f64 = em.iter().sum();
+    let sxm: f64 = vals.iter().zip(&em).map(|(v, e)| v * e).sum();
+    let wa_min = sxm / sm;
+    let span = wa_max - wa_min;
+    let derivs = vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let dmax = (ep[i] / sp) * (1.0 + (v - wa_max) / gamma);
+            let dmin = (em[i] / sm) * (1.0 - (v - wa_min) / gamma);
+            dmax - dmin
+        })
+        .collect();
+    (span, derivs)
+}
+
+/// Smooth finite-support overlap potential along one axis: bell-shaped,
+/// C¹, 1 at zero distance, 0 beyond the half-width sum `w`.
+fn bell(t: f64, w: f64) -> (f64, f64) {
+    let t = t.abs();
+    if t <= w / 2.0 {
+        (1.0 - 2.0 * t * t / (w * w), -4.0 * t / (w * w))
+    } else if t <= w {
+        (2.0 * (t - w) * (t - w) / (w * w), 4.0 * (t - w) / (w * w))
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Smooth cell-density penalty (Eq. 2): sum over nearby cell pairs of
+/// `a_ij · O_x · O_y` where `O` are bell potentials over virtual widths
+/// `ω·w`. Uses a spatial hash so only interacting pairs are visited.
+/// Optionally accumulates the gradient.
+fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -> f64 {
+    let n = netlist.cells.len();
+    let (xs, ys) = p.split_at(n);
+    let mut grad = grad;
+    // Interaction radius: the largest virtual extent.
+    let max_ext = netlist
+        .cells
+        .iter()
+        .map(|c| c.dims.width.max(c.dims.height))
+        .fold(0.0_f64, f64::max)
+        * omega;
+    let bucket = max_ext.max(1.0);
+    let mut hash: std::collections::HashMap<(i64, i64), Vec<CellId>> =
+        std::collections::HashMap::new();
+    for cell in &netlist.cells {
+        let key = (
+            (xs[cell.id] / bucket).floor() as i64,
+            (ys[cell.id] / bucket).floor() as i64,
+        );
+        hash.entry(key).or_default().push(cell.id);
+    }
+    let mut total = 0.0;
+    for cell in &netlist.cells {
+        let i = cell.id;
+        let kx = (xs[i] / bucket).floor() as i64;
+        let ky = (ys[i] / bucket).floor() as i64;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(others) = hash.get(&(kx + dx, ky + dy)) else {
+                    continue;
+                };
+                for &j in others {
+                    if j <= i {
+                        continue;
+                    }
+                    let cj = &netlist.cells[j];
+                    let wx = omega * (cell.dims.width + cj.dims.width) / 2.0;
+                    let wy = omega * (cell.dims.height + cj.dims.height) / 2.0;
+                    let tx = xs[i] - xs[j];
+                    let ty = ys[i] - ys[j];
+                    if tx.abs() >= wx || ty.abs() >= wy {
+                        continue;
+                    }
+                    let (ox, dox) = bell(tx, wx);
+                    let (oy, doy) = bell(ty, wy);
+                    let aij = cell.dims.area().min(cj.dims.area());
+                    total += aij * ox * oy;
+                    if let Some(g) = grad.as_deref_mut() {
+                        let gx = aij * dox * tx.signum() * oy;
+                        let gy = aij * ox * doy * ty.signum();
+                        g[i] += gx;
+                        g[j] -= gx;
+                        g[n + i] += gy;
+                        g[n + j] -= gy;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Exact total pairwise rectangle-overlap area.
+pub(crate) fn overlap_area(netlist: &Netlist, xs: &[f64], ys: &[f64]) -> f64 {
+    let cells = &netlist.cells;
+    let max_width = cells.iter().map(|c| c.dims.width).fold(0.0_f64, f64::max);
+    // Sweep on x-sorted order to skip far-apart pairs.
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("coordinates are finite"));
+    let mut total = 0.0;
+    for (oi, &i) in order.iter().enumerate() {
+        let ci = &cells[i];
+        for &j in &order[oi + 1..] {
+            let cj = &cells[j];
+            if xs[j] - xs[i] >= (ci.dims.width + max_width) / 2.0 {
+                // Sorted by x: even the widest later cell cannot overlap.
+                break;
+            }
+            let dx = (ci.dims.width + cj.dims.width) / 2.0 - (xs[j] - xs[i]);
+            if dx <= 0.0 {
+                continue;
+            }
+            let ox = dx.min(ci.dims.width.min(cj.dims.width));
+            let dy = (ci.dims.height + cj.dims.height) / 2.0 - (ys[i] - ys[j]).abs();
+            if dy > 0.0 {
+                let oy = dy.min(ci.dims.height.min(cj.dims.height));
+                total += ox * oy;
+            }
+        }
+    }
+    total
+}
+
+/// Mixed-size legalization: crossbar macros are pushed apart and
+/// compacted; neurons and synapses are then slotted into the whitespace
+/// between them with an occupancy grid. Netlists with only one class of
+/// cell fall back to whole-netlist push-apart plus compaction.
+fn legalize_mixed_size(netlist: &Netlist, xs: &mut [f64], ys: &mut [f64], passes: usize) {
+    let mut macros = Vec::new();
+    let mut smalls = Vec::new();
+    for c in &netlist.cells {
+        if matches!(c.kind, ncs_tech::CellKind::Crossbar(_)) {
+            macros.push(c.id);
+        } else {
+            smalls.push(c.id);
+        }
+    }
+    let widths: Vec<f64> = netlist.cells.iter().map(|c| c.dims.width).collect();
+    let heights: Vec<f64> = netlist.cells.iter().map(|c| c.dims.height).collect();
+    if macros.is_empty() || smalls.is_empty() {
+        let all: Vec<usize> = (0..netlist.cells.len()).collect();
+        legalize_subset(&all, &widths, &heights, xs, ys, passes);
+        compact_subset(&all, &widths, &heights, xs, ys);
+        return;
+    }
+    // Remember where the global placement wanted the small cells, relative
+    // to the pre-legalization macro bounding box.
+    let bbox_of = |ids: &[usize], xs: &[f64], ys: &[f64]| -> (f64, f64, f64, f64) {
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &i in ids {
+            bb.0 = bb.0.min(xs[i] - widths[i] / 2.0);
+            bb.1 = bb.1.min(ys[i] - heights[i] / 2.0);
+            bb.2 = bb.2.max(xs[i] + widths[i] / 2.0);
+            bb.3 = bb.3.max(ys[i] + heights[i] / 2.0);
+        }
+        bb
+    };
+    let old_bb = bbox_of(&macros, xs, ys);
+    legalize_subset(&macros, &widths, &heights, xs, ys, passes);
+    compact_subset(&macros, &widths, &heights, xs, ys);
+    let new_bb = bbox_of(&macros, xs, ys);
+    // Affine-map small-cell targets from the old frame into the new one.
+    let sx = (new_bb.2 - new_bb.0) / (old_bb.2 - old_bb.0).max(1e-9);
+    let sy = (new_bb.3 - new_bb.1) / (old_bb.3 - old_bb.1).max(1e-9);
+    let targets: Vec<(f64, f64)> = smalls
+        .iter()
+        .map(|&i| {
+            (
+                new_bb.0 + (xs[i] - old_bb.0) * sx,
+                new_bb.1 + (ys[i] - old_bb.1) * sy,
+            )
+        })
+        .collect();
+    gap_fill(
+        &macros, &smalls, &targets, &widths, &heights, xs, ys, new_bb,
+    );
+}
+
+/// Places small cells at the free spot nearest their target using an
+/// occupancy grid over the macro region (with a margin so overflow can
+/// spill to the periphery instead of failing).
+#[allow(clippy::too_many_arguments)]
+fn gap_fill(
+    macros: &[usize],
+    smalls: &[usize],
+    targets: &[(f64, f64)],
+    widths: &[f64],
+    heights: &[f64],
+    xs: &mut [f64],
+    ys: &mut [f64],
+    macro_bb: (f64, f64, f64, f64),
+) {
+    let res = smalls
+        .iter()
+        .map(|&i| widths[i].min(heights[i]))
+        .fold(f64::INFINITY, f64::min)
+        .clamp(0.25, 4.0);
+    let small_area: f64 = smalls.iter().map(|&i| widths[i] * heights[i]).sum();
+    let margin = (small_area.sqrt() * 1.5).max(8.0);
+    let origin = (macro_bb.0 - margin, macro_bb.1 - margin);
+    let cols = (((macro_bb.2 - macro_bb.0) + 2.0 * margin) / res).ceil() as usize + 1;
+    let rows = (((macro_bb.3 - macro_bb.1) + 2.0 * margin) / res).ceil() as usize + 1;
+    let mut occupied = vec![false; cols * rows];
+    let mark = |occupied: &mut Vec<bool>, x0: f64, y0: f64, x1: f64, y1: f64| {
+        let c0 = (((x0 - origin.0) / res).floor().max(0.0)) as usize;
+        let r0 = (((y0 - origin.1) / res).floor().max(0.0)) as usize;
+        let c1 = ((((x1 - origin.0) / res).ceil()).max(0.0) as usize).min(cols);
+        let r1 = ((((y1 - origin.1) / res).ceil()).max(0.0) as usize).min(rows);
+        for r in r0..r1 {
+            for c in c0..c1 {
+                occupied[r * cols + c] = true;
+            }
+        }
+    };
+    for &m in macros {
+        mark(
+            &mut occupied,
+            xs[m] - widths[m] / 2.0,
+            ys[m] - heights[m] / 2.0,
+            xs[m] + widths[m] / 2.0,
+            ys[m] + heights[m] / 2.0,
+        );
+    }
+    // Largest small cells claim space first.
+    let mut order: Vec<usize> = (0..smalls.len()).collect();
+    order.sort_by(|&a, &b| {
+        let aa = widths[smalls[a]] * heights[smalls[a]];
+        let ab = widths[smalls[b]] * heights[smalls[b]];
+        ab.partial_cmp(&aa)
+            .expect("areas are finite")
+            .then(a.cmp(&b))
+    });
+    for &si in &order {
+        let id = smalls[si];
+        let (tx, ty) = targets[si];
+        let w_cells = ((widths[id] / res).ceil() as usize).max(1);
+        let h_cells = ((heights[id] / res).ceil() as usize).max(1);
+        // Spiral (ring) search for the nearest free block.
+        let t_c = (((tx - origin.0) / res).round() as isize).clamp(0, cols as isize - 1);
+        let t_r = (((ty - origin.1) / res).round() as isize).clamp(0, rows as isize - 1);
+        let max_ring = (cols.max(rows)) as isize;
+        let mut placed_at = None;
+        'rings: for ring in 0..max_ring {
+            let lo_c = t_c - ring;
+            let hi_c = t_c + ring;
+            let lo_r = t_r - ring;
+            let hi_r = t_r + ring;
+            for r in lo_r..=hi_r {
+                for c in lo_c..=hi_c {
+                    // Ring boundary only.
+                    if ring > 0 && r != lo_r && r != hi_r && c != lo_c && c != hi_c {
+                        continue;
+                    }
+                    if r < 0 || c < 0 {
+                        continue;
+                    }
+                    let (c, r) = (c as usize, r as usize);
+                    if c + w_cells > cols || r + h_cells > rows {
+                        continue;
+                    }
+                    let free = (r..r + h_cells)
+                        .all(|rr| (c..c + w_cells).all(|cc| !occupied[rr * cols + cc]));
+                    if free {
+                        placed_at = Some((c, r));
+                        break 'rings;
+                    }
+                }
+            }
+        }
+        let (c, r) = placed_at.unwrap_or((0, 0));
+        let x0 = origin.0 + c as f64 * res;
+        let y0 = origin.1 + r as f64 * res;
+        xs[id] = x0 + w_cells as f64 * res / 2.0;
+        ys[id] = y0 + h_cells as f64 * res / 2.0;
+        mark(
+            &mut occupied,
+            x0,
+            y0,
+            x0 + w_cells as f64 * res,
+            y0 + h_cells as f64 * res,
+        );
+    }
+}
+
+/// Greedy pairwise push-apart legalizer over a subset of cells:
+/// repeatedly resolves overlapping pairs along the axis of least
+/// penetration until no overlap remains or the pass budget is exhausted.
+fn legalize_subset(
+    ids: &[usize],
+    widths: &[f64],
+    heights: &[f64],
+    xs: &mut [f64],
+    ys: &mut [f64],
+    passes: usize,
+) {
+    let max_width = ids.iter().map(|&i| widths[i]).fold(0.0_f64, f64::max);
+    for _ in 0..passes {
+        let mut moved = false;
+        let mut order: Vec<usize> = ids.to_vec();
+        order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("coordinates are finite"));
+        for (oi, &i) in order.iter().enumerate() {
+            for &j in &order[oi + 1..] {
+                let dx = xs[j] - xs[i];
+                if dx >= (widths[i] + max_width) / 2.0 {
+                    break;
+                }
+                let need_x = (widths[i] + widths[j]) / 2.0;
+                if dx >= need_x {
+                    continue;
+                }
+                let need_y = (heights[i] + heights[j]) / 2.0;
+                let dy = ys[j] - ys[i];
+                if dy.abs() >= need_y {
+                    continue;
+                }
+                let pen_x = need_x - dx;
+                let pen_y = need_y - dy.abs();
+                // Push along the cheaper axis, split between both cells.
+                // A hair of slack avoids zero-distance ties cycling.
+                if pen_x <= pen_y {
+                    let shift = pen_x / 2.0 + 1e-6;
+                    xs[i] -= shift;
+                    xs[j] += shift;
+                } else {
+                    let dir = if dy >= 0.0 { 1.0 } else { -1.0 };
+                    let shift = pen_y / 2.0 + 1e-6;
+                    ys[i] -= dir * shift;
+                    ys[j] += dir * shift;
+                }
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Compacts a subset of cells toward the origin, trying both axis orders
+/// and keeping the smaller bounding box.
+fn compact_subset(ids: &[usize], widths: &[f64], heights: &[f64], xs: &mut [f64], ys: &mut [f64]) {
+    let bbox = |xs: &[f64], ys: &[f64]| -> f64 {
+        let mut w = 0.0_f64;
+        let mut h = 0.0_f64;
+        for &i in ids {
+            w = w.max(xs[i] + widths[i] / 2.0);
+            h = h.max(ys[i] + heights[i] / 2.0);
+        }
+        w * h
+    };
+    let mut ax = xs.to_vec();
+    let mut ay = ys.to_vec();
+    for _ in 0..2 {
+        compact_axis(ids, &mut ax, &ay, widths, heights);
+        compact_axis(ids, &mut ay, &ax, heights, widths);
+    }
+    let mut bx = xs.to_vec();
+    let mut by = ys.to_vec();
+    for _ in 0..2 {
+        compact_axis(ids, &mut by, &bx, heights, widths);
+        compact_axis(ids, &mut bx, &by, widths, heights);
+    }
+    if bbox(&ax, &ay) <= bbox(&bx, &by) {
+        xs.copy_from_slice(&ax);
+        ys.copy_from_slice(&ay);
+    } else {
+        xs.copy_from_slice(&bx);
+        ys.copy_from_slice(&by);
+    }
+}
+
+/// Slides every subset cell toward zero along the primary axis as far as
+/// the already-compacted subset cells allow (classic left-edge
+/// compaction). The result is overlap-free within the subset along the
+/// primary axis regardless of input.
+fn compact_axis(
+    ids: &[usize],
+    primary: &mut [f64],
+    secondary: &[f64],
+    extent_p: &[f64],
+    extent_s: &[f64],
+) {
+    let mut order: Vec<usize> = ids.to_vec();
+    order.sort_by(|&a, &b| {
+        (primary[a] - extent_p[a] / 2.0)
+            .partial_cmp(&(primary[b] - extent_p[b] / 2.0))
+            .expect("coordinates are finite")
+    });
+    let mut placed: Vec<usize> = Vec::with_capacity(order.len());
+    for &i in &order {
+        let mut edge = 0.0_f64;
+        for &j in &placed {
+            // Overlap along the secondary axis blocks sliding past j.
+            let gap = (extent_s[i] + extent_s[j]) / 2.0 - (secondary[i] - secondary[j]).abs();
+            if gap > 1e-9 {
+                edge = edge.max(primary[j] + extent_p[j] / 2.0);
+            }
+        }
+        primary[i] = edge + extent_p[i] / 2.0;
+        placed.push(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+    use ncs_cluster::{CrossbarAssignment, HybridMapping};
+    use ncs_tech::TechnologyModel;
+
+    fn small_netlist() -> Netlist {
+        let xbar = CrossbarAssignment::new(vec![0, 1, 2], vec![0, 1, 2], 16, vec![(0, 1), (1, 2)]);
+        let mapping = HybridMapping::new(5, vec![xbar], vec![(3, 4)]);
+        Netlist::from_mapping(&mapping, &TechnologyModel::nm45())
+    }
+
+    #[test]
+    fn placement_removes_overlap() {
+        let nl = small_netlist();
+        let p = place(&nl, &PlacerOptions::default()).unwrap();
+        assert!(
+            p.final_overlap_um2 < 0.05 * nl.total_cell_area(),
+            "overlap {} vs area {}",
+            p.final_overlap_um2,
+            nl.total_cell_area()
+        );
+        assert!(p.area_um2(&nl) >= nl.total_cell_area() * 0.8);
+    }
+
+    #[test]
+    fn placement_is_in_positive_quadrant() {
+        let nl = small_netlist();
+        let p = place(&nl, &PlacerOptions::default()).unwrap();
+        let (x0, y0, _, _) = p.bounding_box(&nl);
+        assert!(x0 > -1e-9 && y0 > -1e-9);
+    }
+
+    #[test]
+    fn connected_cells_end_up_closer_than_random_grid() {
+        let nl = small_netlist();
+        let p = place(&nl, &PlacerOptions::default()).unwrap();
+        let opt = p.weighted_hpwl(&nl);
+        // The initial grid is a valid reference placement.
+        let (gx, gy) = initial_grid(&nl, 1.2);
+        let grid = Placement {
+            x: gx,
+            y: gy,
+            outer_iterations: 0,
+            final_overlap_um2: 0.0,
+        };
+        assert!(
+            opt <= grid.weighted_hpwl(&nl) * 1.05,
+            "optimized {} vs grid {}",
+            opt,
+            grid.weighted_hpwl(&nl)
+        );
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let nl = Netlist {
+            cells: vec![],
+            wires: vec![],
+        };
+        assert!(matches!(
+            place(&nl, &PlacerOptions::default()),
+            Err(PhysError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let nl = small_netlist();
+        let bad = PlacerOptions {
+            gamma: 0.0,
+            ..PlacerOptions::default()
+        };
+        assert!(place(&nl, &bad).is_err());
+        let bad = PlacerOptions {
+            omega: 0.5,
+            ..PlacerOptions::default()
+        };
+        assert!(place(&nl, &bad).is_err());
+        let bad = PlacerOptions {
+            lambda_multiplier: 1.0,
+            ..PlacerOptions::default()
+        };
+        assert!(place(&nl, &bad).is_err());
+    }
+
+    #[test]
+    fn degenerate_wire_rejected() {
+        let mut nl = small_netlist();
+        nl.wires.push(crate::Wire {
+            id: nl.wires.len(),
+            pins: vec![0],
+            weight: 1.0,
+        });
+        assert!(matches!(
+            place(&nl, &PlacerOptions::default()),
+            Err(PhysError::DegenerateWire { .. })
+        ));
+    }
+
+    #[test]
+    fn wa_span_approximates_true_span() {
+        let coords = vec![0.0, 10.0, 4.0];
+        let pins = vec![0, 1, 2];
+        let (span, _) = wa_span(&pins, &coords, 0.5);
+        assert!((span - 10.0).abs() < 0.5, "span {span}");
+    }
+
+    #[test]
+    fn wa_gradient_matches_finite_difference() {
+        let nl = small_netlist();
+        let n = nl.cells.len();
+        let mut p: Vec<f64> = (0..2 * n).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut grad = vec![0.0; 2 * n];
+        let f0 = wa_wirelength(&nl, &p, 2.0, Some(&mut grad));
+        let h = 1e-6;
+        for idx in 0..2 * n {
+            p[idx] += h;
+            let f1 = wa_wirelength(&nl, &p, 2.0, None);
+            p[idx] -= h;
+            let fd = (f1 - f0) / h;
+            assert!(
+                (fd - grad[idx]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "idx {idx}: analytic {} vs fd {fd}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn density_gradient_matches_finite_difference() {
+        let nl = small_netlist();
+        let n = nl.cells.len();
+        // Clump everything together so overlaps are active.
+        let mut p: Vec<f64> = (0..2 * n).map(|i| (i as f64 * 0.37).cos() * 3.0).collect();
+        let mut grad = vec![0.0; 2 * n];
+        let f0 = density(&nl, &p, 1.2, Some(&mut grad));
+        assert!(f0 > 0.0, "expected active overlaps");
+        let h = 1e-6;
+        for idx in 0..2 * n {
+            p[idx] += h;
+            let f1 = density(&nl, &p, 1.2, None);
+            p[idx] -= h;
+            let fd = (f1 - f0) / h;
+            assert!(
+                (fd - grad[idx]).abs() < 1e-3 * (1.0 + fd.abs()),
+                "idx {idx}: analytic {} vs fd {fd}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bell_is_continuous_and_compact() {
+        let w = 4.0;
+        let (v0, _) = bell(0.0, w);
+        assert_eq!(v0, 1.0);
+        let (vh_lo, _) = bell(w / 2.0 - 1e-9, w);
+        let (vh_hi, _) = bell(w / 2.0 + 1e-9, w);
+        assert!((vh_lo - vh_hi).abs() < 1e-6);
+        let (vw, dw) = bell(w, w);
+        assert_eq!(vw, 0.0);
+        assert_eq!(dw, 0.0);
+        let (beyond, _) = bell(w * 1.5, w);
+        assert_eq!(beyond, 0.0);
+    }
+
+    #[test]
+    fn overlap_area_of_known_configuration() {
+        let nl = small_netlist();
+        // Stack the first two cells (both neurons, 2x2) exactly on top of
+        // each other; spread the rest far away.
+        let n = nl.cells.len();
+        let mut xs = vec![0.0; n];
+        let ys = vec![0.0; n];
+        for (i, x) in xs.iter_mut().enumerate().skip(2) {
+            *x = 1000.0 + 100.0 * i as f64;
+        }
+        let area = overlap_area(&nl, &xs, &ys);
+        assert!((area - 4.0).abs() < 1e-9, "area {area}");
+    }
+
+    #[test]
+    fn legalizer_separates_stacked_cells() {
+        let nl = small_netlist();
+        let n = nl.cells.len();
+        let mut xs = vec![0.0; n];
+        let mut ys = vec![0.0; n];
+        legalize_mixed_size(&nl, &mut xs, &mut ys, 500);
+        assert!(overlap_area(&nl, &xs, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn gap_fill_places_small_cells_overlap_free() {
+        // Two crossbar macros plus small cells; legalization must finish
+        // with zero overlap and keep the die close to the macro area.
+        let xbar_a = CrossbarAssignment::new(vec![0], vec![0], 16, vec![(0, 0)]);
+        let xbar_b = CrossbarAssignment::new(vec![1], vec![1], 16, vec![(1, 1)]);
+        let mapping = HybridMapping::new(4, vec![xbar_a, xbar_b], vec![(2, 3)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        assert!(
+            p.final_overlap_um2 < 1e-6,
+            "overlap {}",
+            p.final_overlap_um2
+        );
+    }
+
+    #[test]
+    fn pure_small_cell_netlist_still_legalizes() {
+        // No crossbars at all: only synapses and neurons.
+        let mapping = HybridMapping::new(6, vec![], vec![(0, 1), (2, 3), (4, 5)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        assert!(p.final_overlap_um2 < 1e-6);
+    }
+
+    #[test]
+    fn detailed_swap_never_worsens_hpwl_and_preserves_legality() {
+        let nl = small_netlist();
+        let base = place(&nl, &PlacerOptions::fast()).unwrap();
+        let refined = place(
+            &nl,
+            &PlacerOptions {
+                detailed_swap_passes: 4,
+                ..PlacerOptions::fast()
+            },
+        )
+        .unwrap();
+        assert!(
+            refined.weighted_hpwl(&nl) <= base.weighted_hpwl(&nl) + 1e-9,
+            "refined {} vs base {}",
+            refined.weighted_hpwl(&nl),
+            base.weighted_hpwl(&nl)
+        );
+        // Swapping identical footprints cannot create overlap.
+        assert!(refined.final_overlap_um2 <= base.final_overlap_um2 + 1e-9);
+        // The occupied positions are a permutation within each footprint
+        // class, so the die area is unchanged.
+        assert!((refined.area_um2(&nl) - base.area_um2(&nl)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn position_lookup_checks_range() {
+        let nl = small_netlist();
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        assert!(p.position(0).is_ok());
+        assert!(matches!(
+            p.position(999),
+            Err(crate::PhysError::UnknownCell { id: 999 })
+        ));
+    }
+
+    #[test]
+    fn single_cell_netlist_places_at_origin_quadrant() {
+        let mapping = HybridMapping::new(1, vec![], vec![]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        let (x0, y0, x1, y1) = p.bounding_box(&nl);
+        assert!(x0 >= -1e-9 && y0 >= -1e-9);
+        assert!((x1 - x0) > 0.0 && (y1 - y0) > 0.0);
+    }
+}

@@ -1,0 +1,686 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ncs_tech::TechnologyModel;
+
+use crate::{CellId, Netlist, PhysError, Placement, WireId};
+
+/// Options for the global router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterOptions {
+    /// Bin width `θ` of the grid graph, µm (Section 3.5: "a grid graph
+    /// model is constructed with bin width θ, a user-defined parameter").
+    pub theta: f64,
+    /// Routing tracks available per grid edge before relaxation — the
+    /// FastRoute-style *virtual capacity*.
+    pub virtual_capacity: usize,
+    /// Extra cost added per unit of congestion overflow when a wire has to
+    /// squeeze through a saturated edge during relaxed rerouting.
+    pub congestion_penalty: f64,
+    /// Maximum capacity-relaxation rounds before reporting
+    /// [`PhysError::Unroutable`].
+    pub max_relaxations: usize,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            theta: 4.0,
+            virtual_capacity: 8,
+            congestion_penalty: 2.0,
+            max_relaxations: 16,
+        }
+    }
+}
+
+/// A single routed wire.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RoutedWire {
+    /// The wire this path implements.
+    pub wire: WireId,
+    /// Grid bins visited, as `(col, row)` pairs. For a 2-pin wire this is
+    /// a single source-to-sink path; for a multi-pin wire it is the
+    /// concatenation of the routed spanning-tree segments.
+    pub path: Vec<(usize, usize)>,
+    /// Routed length, µm (sum of segment lengths · θ).
+    pub length_um: f64,
+}
+
+/// Per-bin wire congestion, for the Figure 10 heatmaps.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CongestionMap {
+    /// Grid columns.
+    pub cols: usize,
+    /// Grid rows.
+    pub rows: usize,
+    /// Bin width θ, µm.
+    pub theta: f64,
+    /// Wires passing through each bin, row-major.
+    pub usage: Vec<usize>,
+}
+
+impl CongestionMap {
+    /// Usage of bin `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin is out of range.
+    pub fn at(&self, col: usize, row: usize) -> usize {
+        assert!(
+            col < self.cols && row < self.rows,
+            "bin ({col},{row}) out of range"
+        );
+        self.usage[row * self.cols + col]
+    }
+
+    /// Maximum bin usage.
+    pub fn max_usage(&self) -> usize {
+        self.usage.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean bin usage over non-empty bins.
+    pub fn mean_nonzero_usage(&self) -> f64 {
+        let nz: Vec<usize> = self.usage.iter().copied().filter(|&u| u > 0).collect();
+        if nz.is_empty() {
+            0.0
+        } else {
+            nz.iter().sum::<usize>() as f64 / nz.len() as f64
+        }
+    }
+}
+
+/// Result of routing a placed netlist.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Routing {
+    /// One routed path per wire (same order as the netlist wires).
+    pub routed: Vec<RoutedWire>,
+    /// Total routed wirelength, µm.
+    pub total_wirelength_um: f64,
+    /// Congestion map over the placement region.
+    pub congestion: CongestionMap,
+    /// Capacity-relaxation rounds that were needed.
+    pub relaxations: usize,
+}
+
+/// Routes every wire of a placed netlist with maze routing (Lee-style
+/// shortest path on the bin grid) under virtual edge capacities.
+///
+/// Per Section 3.5: wires are ordered by the distance from the center of
+/// gravity of all cells to their closest pin (with wire weight as the tie
+/// breaker), routed one by one with capacity-respecting Dijkstra, and any
+/// wires that fail are retried after the virtual capacity is relaxed.
+///
+/// Multi-pin wires are decomposed into a Manhattan minimum spanning tree
+/// over their pins and each tree edge is maze-routed independently (the
+/// default netlist generator emits 2-pin wires; the shared-net model
+/// produces genuine multi-pin nets).
+///
+/// # Errors
+///
+/// Returns [`PhysError::Unroutable`] if wires remain unrouted after
+/// `max_relaxations` rounds, [`PhysError::InvalidOption`] for a
+/// non-positive `theta`, and [`PhysError::DegenerateWire`] for wires with
+/// fewer than two pins.
+pub fn route(
+    netlist: &Netlist,
+    placement: &Placement,
+    _tech: &TechnologyModel,
+    options: &RouterOptions,
+) -> Result<Routing, PhysError> {
+    if options.theta <= 0.0 {
+        return Err(PhysError::InvalidOption {
+            what: "theta",
+            value: options.theta.to_string(),
+        });
+    }
+    if netlist.cells.is_empty() {
+        return Err(PhysError::EmptyNetlist);
+    }
+    for w in &netlist.wires {
+        if w.pins.len() < 2 {
+            return Err(PhysError::DegenerateWire { id: w.id });
+        }
+    }
+
+    // Grid over the placement bounding box plus one bin of margin.
+    let (x0, y0, x1, y1) = placement.bounding_box(netlist);
+    let theta = options.theta;
+    let cols = (((x1 - x0) / theta).ceil() as usize + 3).max(3);
+    let rows = (((y1 - y0) / theta).ceil() as usize + 3).max(3);
+    let origin = (x0 - theta, y0 - theta);
+    let bin_of = |cell: CellId| -> (usize, usize) {
+        let bx = ((placement.x[cell] - origin.0) / theta).floor() as isize;
+        let by = ((placement.y[cell] - origin.1) / theta).floor() as isize;
+        (
+            bx.clamp(0, cols as isize - 1) as usize,
+            by.clamp(0, rows as isize - 1) as usize,
+        )
+    };
+
+    // Routing order: distance from the center of gravity to the closest
+    // pin, ties broken by descending wire weight.
+    let cg_x: f64 = placement.x.iter().sum::<f64>() / placement.x.len() as f64;
+    let cg_y: f64 = placement.y.iter().sum::<f64>() / placement.y.len() as f64;
+    let mut order: Vec<WireId> = (0..netlist.wires.len()).collect();
+    let closest: Vec<f64> = netlist
+        .wires
+        .iter()
+        .map(|w| {
+            w.pins
+                .iter()
+                .map(|&p| {
+                    let dx = placement.x[p] - cg_x;
+                    let dy = placement.y[p] - cg_y;
+                    (dx * dx + dy * dy).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    order.sort_by(|&a, &b| {
+        closest[a]
+            .partial_cmp(&closest[b])
+            .expect("distances are finite")
+            .then(
+                netlist.wires[b]
+                    .weight
+                    .partial_cmp(&netlist.wires[a].weight)
+                    .expect("weights are finite"),
+            )
+            .then(a.cmp(&b))
+    });
+
+    let mut grid = Grid::new(cols, rows);
+    let mut routed: Vec<Option<RoutedWire>> = vec![None; netlist.wires.len()];
+    let mut pending: Vec<WireId> = order;
+    let mut capacity = options.virtual_capacity;
+    let mut relaxations = 0;
+
+    loop {
+        let mut failed = Vec::new();
+        for &wid in &pending {
+            let wire = &netlist.wires[wid];
+            // Decompose multi-pin wires into a minimum spanning tree over
+            // the pin positions (Manhattan metric) — for two pins this is
+            // just the pair itself. Each tree edge routes and commits
+            // independently.
+            let segments = mst_segments(&wire.pins, placement);
+            let mut seg_paths: Vec<Vec<(usize, usize)>> = Vec::with_capacity(segments.len());
+            let mut ok = true;
+            for seg in segments {
+                let src = bin_of(seg.0);
+                let dst = bin_of(seg.1);
+                match grid.shortest_path(src, dst, capacity, options.congestion_penalty) {
+                    Some(path) => seg_paths.push(path),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let mut length = 0.0;
+                for p in &seg_paths {
+                    grid.commit(p);
+                    length += (p.len().saturating_sub(1)) as f64 * theta;
+                }
+                let full_path = seg_paths.concat();
+                routed[wid] = Some(RoutedWire {
+                    wire: wid,
+                    path: full_path,
+                    length_um: length,
+                });
+            } else {
+                failed.push(wid);
+            }
+        }
+        if failed.is_empty() {
+            break;
+        }
+        relaxations += 1;
+        if relaxations > options.max_relaxations {
+            return Err(PhysError::Unroutable {
+                failed: failed.len(),
+                relaxations: relaxations - 1,
+            });
+        }
+        // Relax the virtual capacity and retry only the failed wires.
+        capacity = capacity.saturating_mul(2).max(capacity + 1);
+        pending = failed;
+    }
+
+    let routed: Vec<RoutedWire> = routed
+        .into_iter()
+        .map(|r| r.expect("all wires routed"))
+        .collect();
+    let total = routed.iter().map(|r| r.length_um).sum();
+    let mut usage = vec![0usize; cols * rows];
+    for r in &routed {
+        for &(c, row) in &r.path {
+            usage[row * cols + c] += 1;
+        }
+    }
+    Ok(Routing {
+        routed,
+        total_wirelength_um: total,
+        congestion: CongestionMap {
+            cols,
+            rows,
+            theta,
+            usage,
+        },
+        relaxations,
+    })
+}
+
+/// Prim's minimum spanning tree over a wire's pins in the Manhattan
+/// metric, returned as `(from_cell, to_cell)` segments. Multi-pin nets
+/// routed along their MST use far less wire than naive pin chaining; a
+/// 2-pin wire yields its single segment unchanged.
+fn mst_segments(pins: &[CellId], placement: &Placement) -> Vec<(CellId, CellId)> {
+    if pins.len() < 2 {
+        return Vec::new();
+    }
+    let dist = |a: CellId, b: CellId| -> f64 {
+        (placement.x[a] - placement.x[b]).abs() + (placement.y[a] - placement.y[b]).abs()
+    };
+    let mut in_tree = vec![false; pins.len()];
+    let mut best_dist = vec![f64::INFINITY; pins.len()];
+    let mut best_parent = vec![0usize; pins.len()];
+    in_tree[0] = true;
+    for (i, &p) in pins.iter().enumerate().skip(1) {
+        best_dist[i] = dist(pins[0], p);
+    }
+    let mut segments = Vec::with_capacity(pins.len() - 1);
+    for _ in 1..pins.len() {
+        let next = (0..pins.len())
+            .filter(|&i| !in_tree[i])
+            .min_by(|&a, &b| {
+                best_dist[a]
+                    .partial_cmp(&best_dist[b])
+                    .expect("distances are finite")
+            })
+            .expect("a non-tree pin remains");
+        in_tree[next] = true;
+        segments.push((pins[best_parent[next]], pins[next]));
+        for (i, &p) in pins.iter().enumerate() {
+            if !in_tree[i] {
+                let d = dist(pins[next], p);
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_parent[i] = next;
+                }
+            }
+        }
+    }
+    segments
+}
+
+/// The routing grid: horizontal/vertical edge usage counters plus a
+/// Dijkstra that respects capacities.
+struct Grid {
+    cols: usize,
+    rows: usize,
+    /// Usage of the edge to the right of each bin.
+    h_use: Vec<usize>,
+    /// Usage of the edge above each bin.
+    v_use: Vec<usize>,
+}
+
+impl Grid {
+    fn new(cols: usize, rows: usize) -> Self {
+        Grid {
+            cols,
+            rows,
+            h_use: vec![0; cols * rows],
+            v_use: vec![0; cols * rows],
+        }
+    }
+
+    fn idx(&self, c: usize, r: usize) -> usize {
+        r * self.cols + c
+    }
+
+    /// Capacity-aware shortest path from `src` to `dst`. Edges at or over
+    /// the virtual capacity are **unusable** (the FastRoute-style hard
+    /// limit); edges below it cost `1 + penalty · usage / capacity` so
+    /// wires spread away from congested regions. Returns `None` when no
+    /// capacity-respecting path exists — the caller then relaxes the
+    /// virtual capacity and reroutes, per Section 3.5.
+    fn shortest_path(
+        &self,
+        src: (usize, usize),
+        dst: (usize, usize),
+        capacity: usize,
+        penalty: f64,
+    ) -> Option<Vec<(usize, usize)>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = self.cols * self.rows;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let start = self.idx(src.0, src.1);
+        let goal = self.idx(dst.0, dst.1);
+        dist[start] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapNode {
+            cost: 0.0,
+            node: start,
+        });
+        while let Some(HeapNode { cost, node }) = heap.pop() {
+            if node == goal {
+                break;
+            }
+            if cost > dist[node] {
+                continue;
+            }
+            let c = node % self.cols;
+            let r = node / self.cols;
+            let mut neighbors: [(isize, isize, usize); 4] = [(0, 0, 0); 4];
+            let mut count = 0;
+            if c + 1 < self.cols {
+                neighbors[count] = (1, 0, self.h_use[node]);
+                count += 1;
+            }
+            if c > 0 {
+                neighbors[count] = (-1, 0, self.h_use[node - 1]);
+                count += 1;
+            }
+            if r + 1 < self.rows {
+                neighbors[count] = (0, 1, self.v_use[node]);
+                count += 1;
+            }
+            if r > 0 {
+                neighbors[count] = (0, -1, self.v_use[node - self.cols]);
+                count += 1;
+            }
+            for &(dc, dr, usage) in &neighbors[..count] {
+                if usage >= capacity {
+                    continue;
+                }
+                let nc = (c as isize + dc) as usize;
+                let nr = (r as isize + dr) as usize;
+                let nn = self.idx(nc, nr);
+                let edge_cost = 1.0 + penalty * usage as f64 / capacity as f64;
+                let nd = cost + edge_cost;
+                if nd < dist[nn] {
+                    dist[nn] = nd;
+                    prev[nn] = node;
+                    heap.push(HeapNode { cost: nd, node: nn });
+                }
+            }
+        }
+        if dist[goal].is_infinite() {
+            // Every capacity-respecting path is blocked; let the caller
+            // relax the virtual capacity.
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut node = goal;
+        while node != usize::MAX {
+            path.push((node % self.cols, node / self.cols));
+            if node == start {
+                break;
+            }
+            node = prev[node];
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Commits a path, incrementing the usage of every traversed edge.
+    fn commit(&mut self, path: &[(usize, usize)]) {
+        for seg in path.windows(2) {
+            let (c0, r0) = seg[0];
+            let (c1, r1) = seg[1];
+            if r0 == r1 {
+                let idx = self.idx(c0.min(c1), r0);
+                self.h_use[idx] += 1;
+            } else {
+                let idx = self.idx(c0, r0.min(r1));
+                self.v_use[idx] += 1;
+            }
+        }
+    }
+}
+
+/// Min-heap adapter over f64 costs.
+struct HeapNode {
+    cost: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap; costs are always finite.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite route costs")
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{place, Netlist, PlacerOptions};
+    use ncs_cluster::{full_crossbar, HybridMapping};
+    use ncs_net::generators;
+    use ncs_tech::TechnologyModel;
+
+    fn placed_netlist() -> (Netlist, Placement) {
+        let net = generators::uniform_random(30, 0.06, 5).unwrap();
+        let mapping = full_crossbar(&net, 16).unwrap();
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        (nl, p)
+    }
+
+    #[test]
+    fn routes_every_wire() {
+        let (nl, p) = placed_netlist();
+        let r = route(&nl, &p, &TechnologyModel::nm45(), &RouterOptions::default()).unwrap();
+        assert_eq!(r.routed.len(), nl.wires.len());
+        assert!(r.total_wirelength_um >= 0.0);
+        for (i, rw) in r.routed.iter().enumerate() {
+            assert_eq!(rw.wire, i);
+            assert!(!rw.path.is_empty());
+        }
+    }
+
+    #[test]
+    fn path_lengths_match_theta() {
+        let (nl, p) = placed_netlist();
+        let opts = RouterOptions::default();
+        let r = route(&nl, &p, &TechnologyModel::nm45(), &opts).unwrap();
+        for rw in &r.routed {
+            assert!((rw.length_um - (rw.path.len() as f64 - 1.0) * opts.theta).abs() < 1e-9);
+            // Consecutive bins are 4-neighbors.
+            for seg in rw.path.windows(2) {
+                let dc = seg[0].0.abs_diff(seg[1].0);
+                let dr = seg[0].1.abs_diff(seg[1].1);
+                assert_eq!(dc + dr, 1, "non-adjacent bins in path");
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_map_counts_paths() {
+        let (nl, p) = placed_netlist();
+        let r = route(&nl, &p, &TechnologyModel::nm45(), &RouterOptions::default()).unwrap();
+        let total_bins: usize = r.routed.iter().map(|rw| rw.path.len()).sum();
+        let total_usage: usize = r.congestion.usage.iter().sum();
+        assert_eq!(total_bins, total_usage);
+        assert!(r.congestion.max_usage() >= 1);
+        assert!(r.congestion.mean_nonzero_usage() >= 1.0);
+    }
+
+    #[test]
+    fn tight_capacity_forces_relaxation_or_detours() {
+        let (nl, p) = placed_netlist();
+        let tight = RouterOptions {
+            virtual_capacity: 1,
+            ..RouterOptions::default()
+        };
+        let loose = RouterOptions {
+            virtual_capacity: 1000,
+            ..RouterOptions::default()
+        };
+        let rt = route(&nl, &p, &TechnologyModel::nm45(), &tight).unwrap();
+        let rl = route(&nl, &p, &TechnologyModel::nm45(), &loose).unwrap();
+        // Tight capacity cannot yield shorter total wirelength.
+        assert!(rt.total_wirelength_um >= rl.total_wirelength_um - 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_without_relaxation_is_unroutable() {
+        let (nl, p) = placed_netlist();
+        let opts = RouterOptions {
+            virtual_capacity: 0,
+            max_relaxations: 0,
+            ..RouterOptions::default()
+        };
+        match route(&nl, &p, &TechnologyModel::nm45(), &opts) {
+            Err(PhysError::Unroutable { failed, .. }) => assert!(failed > 0),
+            other => panic!("expected Unroutable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relaxation_recovers_from_zero_capacity() {
+        let (nl, p) = placed_netlist();
+        let opts = RouterOptions {
+            virtual_capacity: 0,
+            max_relaxations: 16,
+            ..RouterOptions::default()
+        };
+        let r = route(&nl, &p, &TechnologyModel::nm45(), &opts).unwrap();
+        assert!(r.relaxations >= 1, "expected at least one relaxation round");
+        assert_eq!(r.routed.len(), nl.wires.len());
+    }
+
+    #[test]
+    fn invalid_theta_rejected() {
+        let (nl, p) = placed_netlist();
+        let bad = RouterOptions {
+            theta: 0.0,
+            ..RouterOptions::default()
+        };
+        assert!(route(&nl, &p, &TechnologyModel::nm45(), &bad).is_err());
+    }
+
+    #[test]
+    fn same_bin_wire_routes_trivially() {
+        // Two neurons placed at the same spot (one wire between them).
+        let mapping = HybridMapping::new(2, vec![], vec![(0, 1)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let placement = Placement {
+            x: vec![0.0, 0.1, 0.2],
+            y: vec![0.0, 0.1, 0.2],
+            outer_iterations: 0,
+            final_overlap_um2: 0.0,
+        };
+        let r = route(
+            &nl,
+            &placement,
+            &TechnologyModel::nm45(),
+            &RouterOptions::default(),
+        )
+        .unwrap();
+        assert!(r
+            .routed
+            .iter()
+            .all(|rw| rw.length_um <= RouterOptions::default().theta * 2.0));
+    }
+
+    #[test]
+    fn multi_pin_wire_routes_as_spanning_tree() {
+        // A 4-pin star: center cell at origin, three satellites. MST from
+        // the center is three spokes; chaining would detour through
+        // satellites.
+        let mapping = HybridMapping::new(4, vec![], vec![]);
+        let mut nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        nl.wires.push(crate::Wire {
+            id: 0,
+            pins: vec![0, 1, 2, 3],
+            weight: 1.0,
+        });
+        let placement = Placement {
+            x: vec![50.0, 10.0, 90.0, 50.0],
+            y: vec![50.0, 50.0, 50.0, 10.0],
+            outer_iterations: 0,
+            final_overlap_um2: 0.0,
+        };
+        let opts = RouterOptions::default();
+        let r = route(&nl, &placement, &TechnologyModel::nm45(), &opts).unwrap();
+        // Spokes: 40 + 40 + 40 = 120 um of Manhattan tree length; the
+        // grid quantizes, so allow a band. Chaining (1->0->2->3 order
+        // dependent) would cost noticeably more.
+        assert!(
+            r.total_wirelength_um <= 140.0,
+            "tree routing should be near 120 um, got {}",
+            r.total_wirelength_um
+        );
+    }
+
+    #[test]
+    fn mst_segments_cover_all_pins() {
+        let placement = Placement {
+            x: vec![0.0, 1.0, 5.0, 2.0, 9.0],
+            y: vec![0.0, 4.0, 1.0, 2.0, 9.0],
+            outer_iterations: 0,
+            final_overlap_um2: 0.0,
+        };
+        let pins = vec![0usize, 1, 2, 3, 4];
+        let segments = mst_segments(&pins, &placement);
+        assert_eq!(segments.len(), 4, "an MST over 5 pins has 4 edges");
+        let mut seen = std::collections::BTreeSet::new();
+        for (a, b) in segments {
+            seen.insert(a);
+            seen.insert(b);
+        }
+        assert_eq!(seen.len(), 5, "every pin participates");
+        assert!(mst_segments(&[7], &placement).is_empty());
+    }
+
+    #[test]
+    fn grid_shortest_path_is_manhattan_when_uncongested() {
+        let grid = Grid::new(10, 10);
+        let path = grid.shortest_path((1, 1), (4, 5), 8, 2.0).unwrap();
+        assert_eq!(path.len(), 1 + 3 + 4);
+        assert_eq!(path[0], (1, 1));
+        assert_eq!(*path.last().unwrap(), (4, 5));
+    }
+
+    #[test]
+    fn congested_edges_cause_detours() {
+        let mut grid = Grid::new(5, 3);
+        // Saturate the straight corridor between (0,1) and (4,1).
+        for c in 0..4 {
+            for _ in 0..4 {
+                grid.commit(&[(c, 1), (c + 1, 1)]);
+            }
+        }
+        let path = grid.shortest_path((0, 1), (4, 1), 2, 10.0).unwrap();
+        // The detour leaves row 1.
+        assert!(
+            path.iter().any(|&(_, r)| r != 1),
+            "expected a detour, got {path:?}"
+        );
+    }
+}

@@ -1,0 +1,570 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DeviceModel, XbarError};
+
+/// A programmed memristor crossbar: a conductance at every row/column
+/// junction plus the device/wire parameters needed to evaluate it.
+///
+/// Two evaluation modes are provided:
+///
+/// * [`CrossbarArray::evaluate_ideal`] — the textbook analog dot product
+///   `I_j = Σ_i V_i · G_ij` (zero wire resistance),
+/// * [`CrossbarArray::evaluate_ir_drop`] — full nodal analysis of the
+///   resistive row/column wires (drivers on the row left edge, virtual
+///   grounds at the column bottom edge), solved by Gauss-Seidel
+///   relaxation. This is the effect that limits practical crossbars to
+///   ~64×64 (paper Section 2.1).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    conductance: Vec<f64>,
+    device: DeviceModel,
+}
+
+impl CrossbarArray {
+    /// Programs an array from weights in `[0, 1]` (one row per input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::MalformedWeights`] for empty/ragged input,
+    /// [`XbarError::WeightOutOfRange`] for weights outside `[0, 1]`, and
+    /// propagates device validation errors.
+    pub fn program(weights: &[Vec<f64>], device: &DeviceModel) -> Result<Self, XbarError> {
+        device.validate()?;
+        if weights.is_empty() || weights[0].is_empty() {
+            return Err(XbarError::MalformedWeights {
+                message: "empty matrix".to_string(),
+            });
+        }
+        let cols = weights[0].len();
+        let rows = weights.len();
+        let mut conductance = Vec::with_capacity(rows * cols);
+        for (i, row) in weights.iter().enumerate() {
+            if row.len() != cols {
+                return Err(XbarError::MalformedWeights {
+                    message: format!("row {i} has {} entries, expected {cols}", row.len()),
+                });
+            }
+            for (j, &w) in row.iter().enumerate() {
+                if !(0.0..=1.0).contains(&w) {
+                    return Err(XbarError::WeightOutOfRange {
+                        at: (i, j),
+                        value: w,
+                        limit: 1.0,
+                    });
+                }
+                conductance.push(device.weight_to_conductance(w));
+            }
+        }
+        Ok(CrossbarArray {
+            rows,
+            cols,
+            conductance,
+            device: device.clone(),
+        })
+    }
+
+    /// Number of input rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of output columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The programmed conductance at `(row, col)`, S.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn conductance(&self, row: usize, col: usize) -> f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of range"
+        );
+        self.conductance[row * self.cols + col]
+    }
+
+    /// Applies seeded lognormal process variation to every junction:
+    /// `g ← g · exp(σ·z)` with `z ~ N(0, 1)`, clamped back into
+    /// `[g_off, g_on]`.
+    pub fn with_variation(mut self, sigma: f64, seed: u64) -> Self {
+        if sigma <= 0.0 {
+            return self;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g_off, g_on) = (self.device.g_off(), self.device.g_on());
+        for g in &mut self.conductance {
+            // Box-Muller from two uniforms keeps us off rand_distr.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            *g = (*g * (sigma * z).exp()).clamp(g_off, g_on);
+        }
+        self
+    }
+
+    /// Replaces the conductance array wholesale (used by the write-verify
+    /// programming loop, which derives each value through pulses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match `rows · cols`.
+    pub(crate) fn with_conductances(mut self, conductance: Vec<f64>) -> Self {
+        assert_eq!(
+            conductance.len(),
+            self.rows * self.cols,
+            "conductance vector length must match the array"
+        );
+        self.conductance = conductance;
+        self
+    }
+
+    /// Injects stuck-at device defects: each junction independently
+    /// becomes stuck-at-on (conductance pinned to `g_on`) with probability
+    /// `stuck_on`, or stuck-at-off (`g_off`) with probability `stuck_off`.
+    /// Together with IR-drop and variation these are the three reliability
+    /// limiters Section 2.1 of the paper names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are negative or sum above 1.
+    pub fn with_stuck_faults(mut self, stuck_on: f64, stuck_off: f64, seed: u64) -> Self {
+        assert!(
+            stuck_on >= 0.0 && stuck_off >= 0.0 && stuck_on + stuck_off <= 1.0,
+            "defect probabilities must be non-negative and sum to at most 1"
+        );
+        if stuck_on == 0.0 && stuck_off == 0.0 {
+            return self;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g_off, g_on) = (self.device.g_off(), self.device.g_on());
+        for g in &mut self.conductance {
+            let roll: f64 = rng.gen();
+            if roll < stuck_on {
+                *g = g_on;
+            } else if roll < stuck_on + stuck_off {
+                *g = g_off;
+            }
+        }
+        self
+    }
+
+    fn check_inputs(&self, inputs: &[f64]) -> Result<(), XbarError> {
+        if inputs.len() != self.rows {
+            return Err(XbarError::InputDimensionMismatch {
+                expected: self.rows,
+                found: inputs.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ideal analog dot product: output currents `I_j = Σ_i V_i·G_ij`,
+    /// with `V_i = v_read · inputs[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputDimensionMismatch`] for a wrong-length
+    /// input vector.
+    pub fn evaluate_ideal(&self, inputs: &[f64]) -> Result<Vec<f64>, XbarError> {
+        self.check_inputs(inputs)?;
+        let mut out = vec![0.0; self.cols];
+        for (i, &input) in inputs.iter().enumerate() {
+            let v = self.device.v_read * input;
+            if v == 0.0 {
+                continue;
+            }
+            let row = &self.conductance[i * self.cols..(i + 1) * self.cols];
+            for (o, &g) in out.iter_mut().zip(row) {
+                *o += v * g;
+            }
+        }
+        Ok(out)
+    }
+
+    /// IR-drop-aware evaluation: solves the full resistive network — row
+    /// wires driven from the left edge, column wires sensed at virtual
+    /// ground on the bottom edge, one wire segment (resistance
+    /// `r_wire_ohm`) between adjacent junctions — by Gauss-Seidel nodal
+    /// relaxation, then returns the column sense currents.
+    ///
+    /// With `r_wire_ohm == 0` this reduces exactly to
+    /// [`CrossbarArray::evaluate_ideal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputDimensionMismatch`] for a wrong-length
+    /// input and [`XbarError::SolverDiverged`] if relaxation stalls
+    /// (does not happen for physical parameter ranges).
+    #[allow(clippy::needless_range_loop)] // Gauss-Seidel sweeps index
+                                          // several parallel arrays by node id; iterator form would obscure it.
+    pub fn evaluate_ir_drop(&self, inputs: &[f64]) -> Result<Vec<f64>, XbarError> {
+        self.check_inputs(inputs)?;
+        if self.device.r_wire_ohm == 0.0 {
+            return self.evaluate_ideal(inputs);
+        }
+        let (rows, cols) = (self.rows, self.cols);
+        let g_w = 1.0 / self.device.r_wire_ohm;
+        let v_in: Vec<f64> = inputs.iter().map(|&x| self.device.v_read * x).collect();
+        // Unknowns: row-node and column-node voltages at every junction.
+        let mut v_r = vec![0.0; rows * cols];
+        let mut v_c = vec![0.0; rows * cols];
+        // Warm start from the ideal solution: rows at drive voltage,
+        // columns at ground.
+        for (i, &v) in v_in.iter().enumerate() {
+            for j in 0..cols {
+                v_r[i * cols + j] = v;
+            }
+        }
+        let max_iterations = 40_000;
+        // Per-sweep voltage-change tolerance: 1e-8 of the read voltage is
+        // far below any measurable analog effect; Gauss-Seidel convergence
+        // slows quadratically with array dimension, so demanding more on
+        // 128x128 arrays would burn sweeps for no physical gain.
+        let tolerance = 1e-8 * self.device.v_read.max(1e-9);
+        let mut residual = f64::INFINITY;
+        for iteration in 0..max_iterations {
+            residual = 0.0;
+            for i in 0..rows {
+                for j in 0..cols {
+                    let idx = i * cols + j;
+                    let g_dev = self.conductance[idx];
+                    // Row node: neighbours along the row + device.
+                    let mut num = g_dev * v_c[idx];
+                    let mut den = g_dev;
+                    if j == 0 {
+                        num += g_w * v_in[i];
+                        den += g_w;
+                    } else {
+                        num += g_w * v_r[idx - 1];
+                        den += g_w;
+                    }
+                    if j + 1 < cols {
+                        num += g_w * v_r[idx + 1];
+                        den += g_w;
+                    }
+                    let new_vr = num / den;
+                    residual = residual.max((new_vr - v_r[idx]).abs());
+                    v_r[idx] = new_vr;
+                    // Column node: neighbours along the column + device;
+                    // the bottom node also sees the virtual ground.
+                    let mut num = g_dev * v_r[idx];
+                    let mut den = g_dev;
+                    if i > 0 {
+                        num += g_w * v_c[idx - cols];
+                        den += g_w;
+                    }
+                    if i + 1 < rows {
+                        num += g_w * v_c[idx + cols];
+                        den += g_w;
+                    } else {
+                        // Ground connection: + g_w * 0.
+                        den += g_w;
+                    }
+                    let new_vc = num / den;
+                    residual = residual.max((new_vc - v_c[idx]).abs());
+                    v_c[idx] = new_vc;
+                }
+            }
+            if residual < tolerance {
+                break;
+            }
+            if iteration + 1 == max_iterations {
+                return Err(XbarError::SolverDiverged {
+                    iterations: max_iterations,
+                    residual,
+                });
+            }
+        }
+        let _ = residual;
+        // Sense currents: bottom column node through the ground segment.
+        let mut out = vec![0.0; cols];
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = g_w * v_c[(rows - 1) * cols + j];
+        }
+        Ok(out)
+    }
+
+    /// The device model in effect.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+}
+
+/// A signed-weight crossbar built from a differential pair of arrays:
+/// positive weights program the `plus` array, negative weights the
+/// `minus` array, and the output is the current difference — the standard
+/// technique for representing signed synapses with positive conductances.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SignedCrossbar {
+    plus: CrossbarArray,
+    minus: CrossbarArray,
+}
+
+impl SignedCrossbar {
+    /// Programs a signed weight matrix with entries in `[-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CrossbarArray::program`], with the magnitude
+    /// limit at 1.
+    pub fn program(weights: &[Vec<f64>], device: &DeviceModel) -> Result<Self, XbarError> {
+        let mut pos = Vec::with_capacity(weights.len());
+        let mut neg = Vec::with_capacity(weights.len());
+        for (i, row) in weights.iter().enumerate() {
+            let mut prow = Vec::with_capacity(row.len());
+            let mut nrow = Vec::with_capacity(row.len());
+            for (j, &w) in row.iter().enumerate() {
+                if !(-1.0..=1.0).contains(&w) {
+                    return Err(XbarError::WeightOutOfRange {
+                        at: (i, j),
+                        value: w,
+                        limit: 1.0,
+                    });
+                }
+                prow.push(w.max(0.0));
+                nrow.push((-w).max(0.0));
+            }
+            pos.push(prow);
+            neg.push(nrow);
+        }
+        Ok(SignedCrossbar {
+            plus: CrossbarArray::program(&pos, device)?,
+            minus: CrossbarArray::program(&neg, device)?,
+        })
+    }
+
+    /// Applies independent process variation to both halves.
+    pub fn with_variation(self, sigma: f64, seed: u64) -> Self {
+        SignedCrossbar {
+            plus: self.plus.with_variation(sigma, seed),
+            minus: self.minus.with_variation(sigma, seed ^ 0x9e3779b97f4a7c15),
+        }
+    }
+
+    /// Ideal differential evaluation `I⁺ − I⁻`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input-dimension errors.
+    pub fn evaluate_ideal(&self, inputs: &[f64]) -> Result<Vec<f64>, XbarError> {
+        let p = self.plus.evaluate_ideal(inputs)?;
+        let n = self.minus.evaluate_ideal(inputs)?;
+        Ok(p.into_iter().zip(n).map(|(a, b)| a - b).collect())
+    }
+
+    /// IR-drop-aware differential evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input-dimension and solver errors.
+    pub fn evaluate_ir_drop(&self, inputs: &[f64]) -> Result<Vec<f64>, XbarError> {
+        let p = self.plus.evaluate_ir_drop(inputs)?;
+        let n = self.minus.evaluate_ir_drop(inputs)?;
+        Ok(p.into_iter().zip(n).map(|(a, b)| a - b).collect())
+    }
+
+    /// Number of input rows.
+    pub fn rows(&self) -> usize {
+        self.plus.rows()
+    }
+
+    /// Number of output columns.
+    pub fn cols(&self) -> usize {
+        self.plus.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relative_error;
+
+    fn uniform_weights(n: usize, w: f64) -> Vec<Vec<f64>> {
+        vec![vec![w; n]; n]
+    }
+
+    #[test]
+    fn ideal_evaluation_matches_dot_product() {
+        let device = DeviceModel::default();
+        let weights = vec![vec![0.0, 1.0], vec![1.0, 0.5]];
+        let array = CrossbarArray::program(&weights, &device).unwrap();
+        let out = array.evaluate_ideal(&[1.0, 1.0]).unwrap();
+        let v = device.v_read;
+        let g = |w: f64| device.weight_to_conductance(w);
+        assert!((out[0] - v * (g(0.0) + g(1.0))).abs() < 1e-12);
+        assert!((out[1] - v * (g(1.0) + g(0.5))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn program_validates_inputs() {
+        let device = DeviceModel::default();
+        assert!(CrossbarArray::program(&[], &device).is_err());
+        assert!(CrossbarArray::program(&[vec![0.1], vec![0.1, 0.2]], &device).is_err());
+        assert!(matches!(
+            CrossbarArray::program(&[vec![1.5]], &device),
+            Err(XbarError::WeightOutOfRange { .. })
+        ));
+        assert!(array_err_on_bad_device());
+    }
+
+    fn array_err_on_bad_device() -> bool {
+        let device = DeviceModel {
+            r_on_ohm: -1.0,
+            ..DeviceModel::default()
+        };
+        CrossbarArray::program(&[vec![0.5]], &device).is_err()
+    }
+
+    #[test]
+    fn zero_wire_resistance_is_exactly_ideal() {
+        let device = DeviceModel {
+            r_wire_ohm: 0.0,
+            ..DeviceModel::default()
+        };
+        let array = CrossbarArray::program(&uniform_weights(6, 0.7), &device).unwrap();
+        let inputs: Vec<f64> = (0..6).map(|i| (i % 2) as f64).collect();
+        assert_eq!(
+            array.evaluate_ideal(&inputs).unwrap(),
+            array.evaluate_ir_drop(&inputs).unwrap()
+        );
+    }
+
+    #[test]
+    fn ir_drop_only_reduces_outputs() {
+        let device = DeviceModel::default();
+        let array = CrossbarArray::program(&uniform_weights(16, 1.0), &device).unwrap();
+        let inputs = vec![1.0; 16];
+        let ideal = array.evaluate_ideal(&inputs).unwrap();
+        let real = array.evaluate_ir_drop(&inputs).unwrap();
+        for (a, b) in ideal.iter().zip(&real) {
+            assert!(b <= a, "IR drop cannot amplify currents: {b} > {a}");
+            assert!(*b > 0.0);
+        }
+    }
+
+    #[test]
+    fn ir_drop_error_grows_with_array_size() {
+        let device = DeviceModel::default();
+        let mut last = 0.0;
+        for n in [8usize, 32, 64] {
+            let array = CrossbarArray::program(&uniform_weights(n, 1.0), &device).unwrap();
+            let inputs = vec![1.0; n];
+            let ideal = array.evaluate_ideal(&inputs).unwrap();
+            let real = array.evaluate_ir_drop(&inputs).unwrap();
+            let err = relative_error(&ideal, &real);
+            assert!(err > last, "error must grow with size: {err} at n={n}");
+            last = err;
+        }
+        assert!(
+            last > 0.05,
+            "64x64 worst-case IR drop should be noticeable, got {last}"
+        );
+    }
+
+    #[test]
+    fn far_corner_sees_the_most_drop() {
+        let device = DeviceModel::default();
+        let n = 24;
+        let array = CrossbarArray::program(&uniform_weights(n, 1.0), &device).unwrap();
+        let real = array.evaluate_ir_drop(&vec![1.0; n]).unwrap();
+        // Column currents should be monotonically... actually symmetric in
+        // columns? No: all columns identical by symmetry of inputs, but the
+        // drop accumulates along each row from the driver, so the LAST
+        // column sees less drive than the first.
+        assert!(real[n - 1] < real[0], "{} vs {}", real[n - 1], real[0]);
+    }
+
+    #[test]
+    fn variation_perturbs_but_preserves_bounds() {
+        let device = DeviceModel::default();
+        let clean = CrossbarArray::program(&uniform_weights(8, 0.5), &device).unwrap();
+        let noisy = clean.clone().with_variation(0.3, 7);
+        assert_ne!(clean, noisy);
+        for i in 0..8 {
+            for j in 0..8 {
+                let g = noisy.conductance(i, j);
+                assert!(g >= device.g_off() && g <= device.g_on());
+            }
+        }
+        // Deterministic per seed; sigma 0 is a no-op.
+        assert_eq!(noisy, clean.clone().with_variation(0.3, 7));
+        assert_eq!(clean.clone().with_variation(0.0, 7), clean);
+    }
+
+    #[test]
+    fn signed_crossbar_computes_differential() {
+        let device = DeviceModel::default();
+        let weights = vec![vec![0.5, -0.5], vec![-1.0, 1.0]];
+        let xbar = SignedCrossbar::program(&weights, &device).unwrap();
+        let out = xbar.evaluate_ideal(&[1.0, 1.0]).unwrap();
+        // Antisymmetric weights => antisymmetric outputs.
+        assert!((out[0] + out[1]).abs() < 1e-12, "{out:?}");
+        assert!(out[0] < 0.0 && out[1] > 0.0);
+        assert!(SignedCrossbar::program(&[vec![1.5]], &device).is_err());
+    }
+
+    #[test]
+    fn signed_sign_pattern_matches_weights() {
+        let device = DeviceModel::default();
+        // One active input, so each output's sign equals its weight's.
+        let weights = vec![vec![0.8, -0.3, 0.0]];
+        let xbar = SignedCrossbar::program(&weights, &device).unwrap();
+        let out = xbar.evaluate_ir_drop(&[1.0]).unwrap();
+        assert!(out[0] > 0.0);
+        assert!(out[1] < 0.0);
+        assert!(out[2].abs() < out[0].abs());
+    }
+
+    #[test]
+    fn stuck_faults_pin_conductances_to_rail_values() {
+        let device = DeviceModel::default();
+        let clean = CrossbarArray::program(&uniform_weights(12, 0.5), &device).unwrap();
+        let faulty = clean.clone().with_stuck_faults(0.3, 0.3, 9);
+        assert_ne!(clean, faulty);
+        let mid = device.weight_to_conductance(0.5);
+        let mut on = 0;
+        let mut off = 0;
+        for i in 0..12 {
+            for j in 0..12 {
+                let g = faulty.conductance(i, j);
+                if g == device.g_on() {
+                    on += 1;
+                } else if g == device.g_off() {
+                    off += 1;
+                } else {
+                    assert_eq!(g, mid, "non-faulty cells keep their programming");
+                }
+            }
+        }
+        // Roughly 30% each, generously banded.
+        assert!(on > 20 && on < 70, "stuck-on count {on}");
+        assert!(off > 20 && off < 70, "stuck-off count {off}");
+        // Zero probabilities are a no-op; determinism per seed.
+        assert_eq!(clean.clone().with_stuck_faults(0.0, 0.0, 9), clean);
+        assert_eq!(clean.clone().with_stuck_faults(0.3, 0.3, 9), faulty);
+    }
+
+    #[test]
+    #[should_panic(expected = "defect probabilities")]
+    fn invalid_fault_probabilities_panic() {
+        let device = DeviceModel::default();
+        let clean = CrossbarArray::program(&uniform_weights(4, 0.5), &device).unwrap();
+        let _ = clean.with_stuck_faults(0.7, 0.7, 0);
+    }
+
+    #[test]
+    fn input_dimension_checked() {
+        let device = DeviceModel::default();
+        let array = CrossbarArray::program(&uniform_weights(4, 0.5), &device).unwrap();
+        assert!(array.evaluate_ideal(&[1.0; 3]).is_err());
+        assert!(array.evaluate_ir_drop(&[1.0; 5]).is_err());
+    }
+}

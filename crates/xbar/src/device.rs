@@ -1,0 +1,131 @@
+use crate::XbarError;
+
+/// Electrical parameters of the memristor device and the crossbar wires.
+///
+/// Defaults follow the TiO₂-class numbers commonly used in the
+/// memristor-NCS literature (the paper's refs \[1\]\[2\]\[6\]): on/off
+/// resistances of 10 kΩ / 1 MΩ and a per-cell wire segment resistance of
+/// a few ohms at a 45 nm-class pitch. The wire/device resistance ratio is
+/// exactly what makes large arrays unreliable: read current returning
+/// through long rows loses voltage across the accumulated segment
+/// resistance.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceModel {
+    /// Low-resistance (fully "on") state, Ω.
+    pub r_on_ohm: f64,
+    /// High-resistance (fully "off") state, Ω.
+    pub r_off_ohm: f64,
+    /// Wire resistance of one cell-to-cell segment, Ω.
+    pub r_wire_ohm: f64,
+    /// Read voltage applied to active rows, V (scales inputs).
+    pub v_read: f64,
+    /// Lognormal sigma of programmed-conductance variation (0 = ideal
+    /// programming).
+    pub variation_sigma: f64,
+}
+
+impl DeviceModel {
+    /// Validates physical sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidDevice`] for non-positive resistances,
+    /// `r_on >= r_off`, or a negative variation sigma.
+    pub fn validate(&self) -> Result<(), XbarError> {
+        if self.r_on_ohm <= 0.0 {
+            return Err(XbarError::InvalidDevice {
+                what: "r_on_ohm must be positive",
+            });
+        }
+        if self.r_off_ohm <= self.r_on_ohm {
+            return Err(XbarError::InvalidDevice {
+                what: "r_off_ohm must exceed r_on_ohm",
+            });
+        }
+        if self.r_wire_ohm < 0.0 {
+            return Err(XbarError::InvalidDevice {
+                what: "r_wire_ohm must be non-negative",
+            });
+        }
+        if self.variation_sigma < 0.0 {
+            return Err(XbarError::InvalidDevice {
+                what: "variation_sigma must be non-negative",
+            });
+        }
+        Ok(())
+    }
+
+    /// Conductance of the fully-on state, S.
+    pub fn g_on(&self) -> f64 {
+        1.0 / self.r_on_ohm
+    }
+
+    /// Conductance of the fully-off state, S.
+    pub fn g_off(&self) -> f64 {
+        1.0 / self.r_off_ohm
+    }
+
+    /// Maps a weight in `[0, 1]` linearly onto `[g_off, g_on]`.
+    pub fn weight_to_conductance(&self, weight: f64) -> f64 {
+        self.g_off() + weight.clamp(0.0, 1.0) * (self.g_on() - self.g_off())
+    }
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        DeviceModel {
+            r_on_ohm: 10e3,
+            r_off_ohm: 1e6,
+            r_wire_ohm: 2.5,
+            v_read: 0.3,
+            variation_sigma: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        DeviceModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let d = DeviceModel {
+            r_on_ohm: 0.0,
+            ..DeviceModel::default()
+        };
+        assert!(d.validate().is_err());
+        let base = DeviceModel::default();
+        let d = DeviceModel {
+            r_off_ohm: base.r_on_ohm,
+            ..base.clone()
+        };
+        assert!(d.validate().is_err());
+        let d = DeviceModel {
+            r_wire_ohm: -1.0,
+            ..DeviceModel::default()
+        };
+        assert!(d.validate().is_err());
+        let d = DeviceModel {
+            variation_sigma: -0.1,
+            ..DeviceModel::default()
+        };
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn conductance_mapping_is_monotone_and_bounded() {
+        let d = DeviceModel::default();
+        assert!((d.weight_to_conductance(0.0) - d.g_off()).abs() < 1e-15);
+        assert!((d.weight_to_conductance(1.0) - d.g_on()).abs() < 1e-15);
+        assert!(d.weight_to_conductance(0.3) < d.weight_to_conductance(0.7));
+        // Clamped outside [0, 1].
+        assert_eq!(d.weight_to_conductance(-1.0), d.g_off());
+        assert_eq!(d.weight_to_conductance(2.0), d.g_on());
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the crossbar device model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// A weight matrix with no rows or ragged rows was supplied.
+    MalformedWeights {
+        /// Description of the defect.
+        message: String,
+    },
+    /// A weight lies outside the programmable range.
+    WeightOutOfRange {
+        /// Position of the offending weight.
+        at: (usize, usize),
+        /// The offending value.
+        value: f64,
+        /// Allowed magnitude.
+        limit: f64,
+    },
+    /// Input vector length does not match the array's row count.
+    InputDimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// The IR-drop solver failed to converge.
+    SolverDiverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// A device parameter is physically meaningless (non-positive
+    /// resistance, negative variation, ...).
+    InvalidDevice {
+        /// Which parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::MalformedWeights { message } => {
+                write!(f, "malformed weight matrix: {message}")
+            }
+            XbarError::WeightOutOfRange { at, value, limit } => write!(
+                f,
+                "weight {value} at ({}, {}) exceeds programmable magnitude {limit}",
+                at.0, at.1
+            ),
+            XbarError::InputDimensionMismatch { expected, found } => {
+                write!(f, "input length {found} does not match {expected} crossbar rows")
+            }
+            XbarError::SolverDiverged { iterations, residual } => write!(
+                f,
+                "ir-drop solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            XbarError::InvalidDevice { what } => write!(f, "invalid device parameter: {what}"),
+        }
+    }
+}
+
+impl Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = XbarError::InputDimensionMismatch {
+            expected: 4,
+            found: 3,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XbarError>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Analog memristor crossbar device model.
+//!
+//! The AutoNCS paper builds on two device-level facts it takes from prior
+//! work: a memristor crossbar computes `T = A·F` in the analog domain
+//! (Section 2.1, ref \[1\]), and — because IR-drop, defects and process
+//! variation degrade large arrays — "the current technology can only
+//! supply reliable memristor crossbars with a size no larger than 64×64"
+//! (ref \[6\]). This crate implements that substrate so the claim is
+//! *reproducible* rather than assumed:
+//!
+//! * [`CrossbarArray`] — a programmed conductance array, plus
+//!   [`SignedCrossbar`] for differential-pair signed-weight mapping,
+//! * ideal evaluation (`I_j = Σ_i V_i·G_ij`) and **IR-drop-aware**
+//!   evaluation that solves the full resistive wire network with
+//!   Gauss-Seidel nodal analysis,
+//! * seeded lognormal **process variation** on programmed conductances,
+//! * [`reliability_sweep`] — relative dot-product error versus array
+//!   size, the experiment behind the 64×64 limit.
+//!
+//! # Examples
+//!
+//! A small array stays accurate under IR-drop; a large one degrades:
+//!
+//! ```
+//! use ncs_xbar::{CrossbarArray, DeviceModel};
+//!
+//! # fn main() -> Result<(), ncs_xbar::XbarError> {
+//! let device = DeviceModel::default();
+//! let weights = vec![vec![1.0; 8]; 8];
+//! let array = CrossbarArray::program(&weights, &device)?;
+//! let inputs = vec![0.2; 8];
+//! let ideal = array.evaluate_ideal(&inputs)?;
+//! let real = array.evaluate_ir_drop(&inputs)?;
+//! let err = ncs_xbar::relative_error(&ideal, &real);
+//! assert!(err < 0.05, "8x8 arrays are nearly ideal, err = {err}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod device;
+mod error;
+mod programming;
+mod reliability;
+
+pub use array::{CrossbarArray, SignedCrossbar};
+pub use device::DeviceModel;
+pub use error::XbarError;
+pub use programming::{program_write_verify, ProgrammingReport, ProgrammingScheme};
+pub use reliability::{reliability_sweep, ReliabilityPoint};
+
+/// Mean relative error between an ideal and an observed output vector,
+/// normalized by the RMS of the ideal outputs (so near-zero ideal entries
+/// do not blow the metric up).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relative_error(ideal: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(ideal.len(), observed.len(), "output length mismatch");
+    if ideal.is_empty() {
+        return 0.0;
+    }
+    let rms = (ideal.iter().map(|v| v * v).sum::<f64>() / ideal.len() as f64).sqrt();
+    if rms == 0.0 {
+        return observed.iter().map(|v| v.abs()).sum::<f64>() / observed.len() as f64;
+    }
+    ideal
+        .iter()
+        .zip(observed)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / (ideal.len() as f64 * rms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(relative_error(&[1.0, 1.0], &[1.1, 0.9]) > 0.0);
+        assert_eq!(relative_error(&[], &[]), 0.0);
+        // Zero ideal falls back to mean absolute observed.
+        assert!((relative_error(&[0.0, 0.0], &[0.2, 0.4]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn relative_error_length_mismatch_panics() {
+        relative_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,121 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{relative_error, CrossbarArray, DeviceModel, XbarError};
+
+/// One point of the size-reliability sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReliabilityPoint {
+    /// Array dimension `s` (the array is `s × s`).
+    pub size: usize,
+    /// Mean relative dot-product error from IR-drop alone.
+    pub ir_drop_error: f64,
+    /// Mean relative error with IR-drop plus process variation.
+    pub combined_error: f64,
+}
+
+/// Sweeps crossbar size and measures how far the analog dot product drifts
+/// from ideal — the experiment behind Section 2.1's statement that
+/// "considering the process variations and IR-drop, the current
+/// technology can only supply reliable memristor crossbars with a size no
+/// larger than 64×64".
+///
+/// For each size, `trials` random weight matrices and input vectors are
+/// generated from `seed`, evaluated ideally and with the physical model,
+/// and the mean relative errors reported.
+///
+/// # Errors
+///
+/// Propagates device validation and solver errors.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ncs_xbar::{reliability_sweep, DeviceModel};
+///
+/// # fn main() -> Result<(), ncs_xbar::XbarError> {
+/// let points = reliability_sweep(&DeviceModel::default(), &[16, 32, 64], 0.1, 3, 42)?;
+/// assert!(points[0].ir_drop_error < points[2].ir_drop_error);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reliability_sweep(
+    device: &DeviceModel,
+    sizes: &[usize],
+    variation_sigma: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<ReliabilityPoint>, XbarError> {
+    device.validate()?;
+    let mut points = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let mut ir_sum = 0.0;
+        let mut combined_sum = 0.0;
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (size as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ trial as u64,
+            );
+            let weights: Vec<Vec<f64>> = (0..size)
+                .map(|_| (0..size).map(|_| rng.gen::<f64>()).collect())
+                .collect();
+            let inputs: Vec<f64> = (0..size)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { 0.0 })
+                .collect();
+            let clean = CrossbarArray::program(&weights, device)?;
+            let ideal = clean.evaluate_ideal(&inputs)?;
+            let ir = clean.evaluate_ir_drop(&inputs)?;
+            ir_sum += relative_error(&ideal, &ir);
+            let varied = clean.with_variation(variation_sigma, seed ^ (trial as u64) << 8);
+            let both = varied.evaluate_ir_drop(&inputs)?;
+            combined_sum += relative_error(&ideal, &both);
+        }
+        points.push(ReliabilityPoint {
+            size,
+            ir_drop_error: ir_sum / trials as f64,
+            combined_error: combined_sum / trials as f64,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_grows_monotonically_with_size() {
+        let points = reliability_sweep(&DeviceModel::default(), &[8, 16, 32], 0.05, 2, 1).unwrap();
+        assert_eq!(points.len(), 3);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].ir_drop_error > pair[0].ir_drop_error,
+                "{:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn variation_adds_error_on_top_of_ir_drop() {
+        let points = reliability_sweep(&DeviceModel::default(), &[16], 0.3, 2, 5).unwrap();
+        assert!(points[0].combined_error > points[0].ir_drop_error);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = reliability_sweep(&DeviceModel::default(), &[8], 0.1, 2, 9).unwrap();
+        let b = reliability_sweep(&DeviceModel::default(), &[8], 0.1, 2, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_device_rejected() {
+        let device = DeviceModel {
+            r_on_ohm: -5.0,
+            ..DeviceModel::default()
+        };
+        assert!(reliability_sweep(&device, &[8], 0.0, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation: how does the maximum available crossbar size affect the
+//! hybrid mapping? Sweeps the size cap (the reliability limit that
+//! Section 2.1 pins at 64x64 for today's technology) and reports
+//! utilization, crossbar count and outlier ratio at each point.
+//!
+//! Run with: `cargo run --release --example crossbar_sweep`
+
+use ncs_cluster::{CrossbarSizeSet, Isc, IscOptions};
+use ncs_net::Testbench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tb = Testbench::paper(1, 42)?;
+    let net = tb.network();
+    println!("network: {net}");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>12}",
+        "max size", "crossbars", "synapses", "avg util %", "outlier %"
+    );
+    for cap in [16usize, 24, 32, 48, 64, 96] {
+        let sizes = CrossbarSizeSet::new((8..=cap).step_by(4))?;
+        let opts = IscOptions {
+            sizes,
+            seed: 42,
+            ..IscOptions::default()
+        };
+        let mapping = Isc::new(opts).run(net)?;
+        println!(
+            "{:>8} {:>10} {:>12} {:>14.2} {:>12.2}",
+            cap,
+            mapping.crossbars().len(),
+            mapping.outliers().len(),
+            mapping.average_utilization() * 100.0,
+            mapping.outlier_ratio() * 100.0
+        );
+    }
+    Ok(())
+}

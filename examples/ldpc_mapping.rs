@@ -1,0 +1,51 @@
+//! Mapping an LDPC message-passing network — the >99 %-sparse workload
+//! that motivates hybrid crossbar/synapse implementations in Section 2.2
+//! of the paper (LDPC coding for IEEE 802.11).
+//!
+//! For such extreme sparsity, full crossbars are hopeless (utilization
+//! under 1 %); AutoNCS picks small crossbars for the denser check-node
+//! neighbourhoods and discrete synapses for the rest.
+//!
+//! Run with: `cargo run --release --example ldpc_mapping`
+
+use autoncs::AutoNcs;
+use ncs_cluster::full_crossbar;
+use ncs_net::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 802.11n-like code: 324 variable nodes, 162 checks, variable
+    // degree 4 (scaled down from the 648-bit codeword for a quick run).
+    let net = generators::ldpc_like(324, 162, 4, 11)?;
+    println!("LDPC network: {net}");
+    assert!(net.sparsity() > 0.98);
+
+    let framework = AutoNcs::new();
+    let (mapping, trace) = framework.map(&net)?;
+    mapping
+        .verify_covers(&net)
+        .expect("mapping covers the network");
+
+    let baseline = full_crossbar(&net, 64)?;
+    println!(
+        "FullCro: {} max-size crossbars at {:.2}% average utilization",
+        baseline.crossbars().len(),
+        baseline.average_utilization() * 100.0
+    );
+    println!(
+        "AutoNCS: {} crossbars at {:.2}% average utilization + {} discrete synapses",
+        mapping.crossbars().len(),
+        mapping.average_utilization() * 100.0,
+        mapping.outliers().len()
+    );
+    println!(
+        "ISC iterations: {} (stop: {:?})",
+        trace.iterations.len(),
+        trace.stop_reason
+    );
+    println!("crossbar sizes used: {:?}", mapping.size_histogram());
+    println!(
+        "utilization gain over FullCro: {:.1}x",
+        mapping.average_utilization() / baseline.average_utilization().max(1e-12)
+    );
+    Ok(())
+}

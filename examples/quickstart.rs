@@ -1,0 +1,56 @@
+//! Quickstart: map a small sparse network to a hybrid crossbar/synapse
+//! design and compare it against the brute-force FullCro baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autoncs::AutoNcs;
+use ncs_net::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 320-neuron network with eight hidden communities and ~95%
+    // sparsity — the sparse-but-structured regime AutoNCS is built for.
+    // (On small or dense networks, a couple of max-size crossbars tile
+    // everything and the brute-force baseline is hard to beat.)
+    let (net, _truth) = generators::planted_clusters(320, 8, 0.25, 0.005, 7)?;
+    println!("network: {net}");
+
+    // Run the full flow with paper-default options.
+    let framework = AutoNcs::new();
+    let report = framework.compare(&net)?;
+
+    let mapping = &report.autoncs.mapping;
+    println!(
+        "AutoNCS mapping: {} crossbars, {} discrete synapses, outlier ratio {:.1}%",
+        mapping.crossbars().len(),
+        mapping.outliers().len(),
+        mapping.outlier_ratio() * 100.0
+    );
+    println!("crossbar size histogram: {:?}", mapping.size_histogram());
+    if let Some(trace) = &report.autoncs.trace {
+        println!(
+            "ISC ran {} iterations (stop: {:?})",
+            trace.iterations.len(),
+            trace.stop_reason
+        );
+    }
+
+    let a = &report.autoncs.design.cost;
+    let b = &report.baseline.design.cost;
+    println!("              {:>12}  {:>12}", "AutoNCS", "FullCro");
+    println!(
+        "wirelength um {:>12.1}  {:>12.1}",
+        a.wirelength_um, b.wirelength_um
+    );
+    println!("area      um2 {:>12.1}  {:>12.1}", a.area_um2, b.area_um2);
+    println!(
+        "delay      ns {:>12.3}  {:>12.3}",
+        a.average_delay_ns, b.average_delay_ns
+    );
+    println!(
+        "reductions: wirelength {:.1}%, area {:.1}%, delay {:.1}%",
+        report.wirelength_reduction() * 100.0,
+        report.area_reduction() * 100.0,
+        report.delay_reduction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration tests for the AutoNCS flow (clustering through
+//! physical design), on workloads small enough for debug-mode CI.
+
+use autoncs::{AutoNcs, CostTable};
+use ncs_cluster::{CrossbarSizeSet, IscOptions};
+use ncs_net::generators;
+
+fn framework() -> AutoNcs {
+    // Small crossbars so small test networks still exercise multiple
+    // size classes.
+    AutoNcs::builder()
+        .isc_options(IscOptions {
+            sizes: CrossbarSizeSet::new([8, 12, 16, 24, 32]).expect("non-empty size set"),
+            seed: 3,
+            ..IscOptions::default()
+        })
+        .implement_options(ncs_phys::ImplementOptions::fast())
+        .build()
+}
+
+#[test]
+fn full_flow_produces_consistent_design() {
+    let net = generators::planted_clusters(72, 4, 0.45, 0.015, 9)
+        .unwrap()
+        .0;
+    let result = framework().run(&net).unwrap();
+
+    // Mapping invariant.
+    result.mapping.verify_covers(&net).unwrap();
+
+    // Netlist consistency: one neuron cell per neuron, one synapse cell
+    // per outlier, one crossbar cell per crossbar.
+    let (xbars, synapses, neurons) = result.netlist_counts();
+    assert_eq!(neurons, 72);
+    assert_eq!(xbars, result.mapping.crossbars().len());
+    assert_eq!(synapses, result.mapping.outliers().len());
+
+    // Every wire was routed; wirelength and area are positive.
+    assert_eq!(
+        result.design.routing.routed.len(),
+        result.design.netlist.wires.len()
+    );
+    assert!(result.design.cost.wirelength_um > 0.0);
+    assert!(result.design.cost.area_um2 > 0.0);
+    assert!(result.design.cost.average_delay_ns > 0.0);
+
+    // Placement is legal (near-zero overlap).
+    assert!(
+        result.design.placement.final_overlap_um2 < 0.02 * result.design.netlist.total_cell_area()
+    );
+}
+
+trait NetlistCounts {
+    fn netlist_counts(&self) -> (usize, usize, usize);
+}
+
+impl NetlistCounts for autoncs::FlowResult {
+    fn netlist_counts(&self) -> (usize, usize, usize) {
+        self.design.netlist.kind_counts()
+    }
+}
+
+#[test]
+fn autoncs_beats_baseline_on_structured_networks() {
+    let net = generators::planted_clusters(96, 6, 0.5, 0.01, 4).unwrap().0;
+    let report = framework().compare(&net).unwrap();
+    // On a clustered sparse network, the hybrid design must win on
+    // wirelength and cost overall.
+    assert!(
+        report.wirelength_reduction() > 0.0,
+        "wirelength reduction {}",
+        report.wirelength_reduction()
+    );
+    assert!(
+        report.autoncs.design.cost.total() < report.baseline.design.cost.total(),
+        "autoncs {} vs baseline {}",
+        report.autoncs.design.cost.total(),
+        report.baseline.design.cost.total()
+    );
+}
+
+#[test]
+fn cost_table_aggregates_multiple_workloads() {
+    let mut table = CostTable::new();
+    for (i, seed) in [(1usize, 11u64), (2, 22)] {
+        let net = generators::planted_clusters(48 + 16 * i, 4, 0.5, 0.02, seed)
+            .unwrap()
+            .0;
+        let report = framework().compare(&net).unwrap();
+        table.push(report.to_row(format!("net{i}")));
+    }
+    assert_eq!(table.rows.len(), 2);
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 1 + 2 * 2);
+    let rendered = table.to_string();
+    assert!(rendered.contains("average"));
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let net = generators::uniform_random(50, 0.08, 17).unwrap();
+    let f = framework();
+    let a = f.run(&net).unwrap();
+    let b = f.run(&net).unwrap();
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.design.placement, b.design.placement);
+    assert_eq!(a.design.cost.wirelength_um, b.design.cost.wirelength_um);
+}
+
+#[test]
+fn trace_outlier_ratio_matches_final_mapping() {
+    let net = generators::planted_clusters(64, 4, 0.4, 0.02, 8).unwrap().0;
+    let (mapping, trace) = framework().map(&net).unwrap();
+    let last = trace.iterations.last().expect("at least one iteration");
+    let final_ratio = mapping.outliers().len() as f64 / net.connections() as f64;
+    assert!((last.outlier_ratio - final_ratio).abs() < 1e-12);
+}

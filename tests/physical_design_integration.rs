@@ -1,0 +1,127 @@
+//! Integration tests for the physical-design stack on real mappings.
+
+use ncs_cluster::{full_crossbar, CrossbarSizeSet, Isc, IscOptions};
+use ncs_net::generators;
+use ncs_phys::{
+    implement_mapping, place, route, ImplementOptions, Netlist, PlacerOptions, RouterOptions,
+};
+use ncs_tech::{CellKind, TechnologyModel};
+
+fn mapping_pair() -> (
+    ncs_net::ConnectionMatrix,
+    ncs_cluster::HybridMapping,
+    ncs_cluster::HybridMapping,
+) {
+    let net = generators::planted_clusters(64, 4, 0.45, 0.02, 31)
+        .unwrap()
+        .0;
+    let sizes = CrossbarSizeSet::new([8, 12, 16, 24]).unwrap();
+    let hybrid = Isc::new(IscOptions {
+        sizes,
+        seed: 9,
+        ..IscOptions::default()
+    })
+    .run(&net)
+    .unwrap();
+    let baseline = full_crossbar(&net, 24).unwrap();
+    (net, hybrid, baseline)
+}
+
+#[test]
+fn placement_is_legal_and_compact_for_both_designs() {
+    let (_, hybrid, baseline) = mapping_pair();
+    let tech = TechnologyModel::nm45();
+    for mapping in [&hybrid, &baseline] {
+        let nl = Netlist::from_mapping(mapping, &tech);
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        assert!(p.final_overlap_um2 < 0.02 * nl.total_cell_area());
+        // Compaction keeps the die reasonably filled.
+        let fill = nl.total_cell_area() / p.area_um2(&nl);
+        assert!(fill > 0.25, "fill factor {fill}");
+    }
+}
+
+#[test]
+fn routing_respects_wire_count_and_produces_congestion() {
+    let (_, hybrid, _) = mapping_pair();
+    let tech = TechnologyModel::nm45();
+    let nl = Netlist::from_mapping(&hybrid, &tech);
+    let p = place(&nl, &PlacerOptions::fast()).unwrap();
+    let r = route(&nl, &p, &tech, &RouterOptions::default()).unwrap();
+    assert_eq!(r.routed.len(), nl.wires.len());
+    assert!(r.congestion.max_usage() > 0);
+    // Total usage is consistent with the paths.
+    let path_bins: usize = r.routed.iter().map(|w| w.path.len()).sum();
+    assert_eq!(path_bins, r.congestion.usage.iter().sum::<usize>());
+}
+
+#[test]
+fn hybrid_design_costs_less_than_baseline() {
+    let (_, hybrid, baseline) = mapping_pair();
+    let tech = TechnologyModel::nm45();
+    let opts = ImplementOptions::fast();
+    let dh = implement_mapping(&hybrid, &tech, &opts).unwrap();
+    let db = implement_mapping(&baseline, &tech, &opts).unwrap();
+    assert!(
+        dh.cost.total() < db.cost.total(),
+        "hybrid {} vs baseline {}",
+        dh.cost.total(),
+        db.cost.total()
+    );
+    // Delay tracks the crossbar size distribution (Section 4.3): the
+    // hybrid design uses smaller crossbars, so it must be faster.
+    assert!(dh.cost.average_delay_ns < db.cost.average_delay_ns);
+}
+
+#[test]
+fn smaller_theta_refines_wirelength_estimate() {
+    let (_, hybrid, _) = mapping_pair();
+    let tech = TechnologyModel::nm45();
+    let nl = Netlist::from_mapping(&hybrid, &tech);
+    let p = place(&nl, &PlacerOptions::fast()).unwrap();
+    let coarse = route(
+        &nl,
+        &p,
+        &tech,
+        &RouterOptions {
+            theta: 16.0,
+            ..RouterOptions::default()
+        },
+    )
+    .unwrap();
+    let fine = route(
+        &nl,
+        &p,
+        &tech,
+        &RouterOptions {
+            theta: 2.0,
+            ..RouterOptions::default()
+        },
+    )
+    .unwrap();
+    // Both estimates must be in the same ballpark as the weighted HPWL
+    // lower-bound structure: fine grid never collapses to zero.
+    assert!(fine.total_wirelength_um > 0.0);
+    assert!(coarse.total_wirelength_um > 0.0);
+    // The fine grid has more bins.
+    assert!(fine.congestion.cols > coarse.congestion.cols);
+}
+
+#[test]
+fn neuron_cells_outnumber_everything_in_sparse_designs() {
+    let (net, hybrid, _) = mapping_pair();
+    let tech = TechnologyModel::nm45();
+    let nl = Netlist::from_mapping(&hybrid, &tech);
+    let (xbars, synapses, neurons) = nl.kind_counts();
+    assert_eq!(neurons, net.neurons());
+    assert_eq!(xbars + synapses + neurons, nl.cells.len());
+    // Crossbar cells dominate the area even though neurons dominate the
+    // count.
+    let xbar_area: f64 = nl
+        .cells
+        .iter()
+        .filter(|c| matches!(c.kind, CellKind::Crossbar(_)))
+        .map(|c| c.dims.area())
+        .sum();
+    assert!(xbar_area > nl.total_cell_area() * 0.5);
+}
