@@ -1,0 +1,277 @@
+//! In-tree benchmark runner: the successor of the former criterion
+//! benches, rebuilt on [`ncs_bench::harness`] so the workspace builds with
+//! zero registry dependencies.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [group ...]
+//!
+//! groups:
+//!   clustering        msc, gcp vs traversing (Figure 4), isc
+//!   flow              end-to-end AutoNCS vs FullCro pipeline (Table 1)
+//!   hopfield          train / sparsify / recall at testbench scales
+//!   linalg            dense eigensolver, spectral embedding, CG minimizer
+//!   physical_design   placement (autoncs vs fullcro) and maze routing
+//!   xbar              ideal vs IR-drop crossbar evaluation
+//! ```
+//!
+//! With no arguments every group runs. Each group writes a
+//! `results/BENCH_<group>.json` artifact (schema documented on
+//! `BenchGroup::to_json`); sample count is tunable via
+//! `NCS_BENCH_SAMPLES`.
+
+use autoncs::AutoNcs;
+use ncs_bench::{report_artifact, testbench, BenchGroup, SEED};
+use ncs_cluster::{
+    full_crossbar, gcp, msc, spectral_embedding, traversing, GcpOptions, Isc, IscOptions,
+};
+use ncs_linalg::optimize::{minimize, CgOptions};
+use ncs_linalg::{DenseMatrix, SymmetricEigen};
+use ncs_net::{generators, HopfieldNetwork, PatternSet, Testbench, TestbenchSpec};
+use ncs_phys::{place, route, Netlist, PlacerOptions, RouterOptions};
+use ncs_tech::TechnologyModel;
+use ncs_xbar::{CrossbarArray, DeviceModel};
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "clustering",
+        "flow",
+        "hopfield",
+        "linalg",
+        "physical_design",
+        "xbar",
+    ];
+    let groups: Vec<&str> = if requested.is_empty() {
+        all.to_vec()
+    } else {
+        requested.iter().map(String::as_str).collect()
+    };
+    for group in groups {
+        match group {
+            "clustering" => clustering(),
+            "flow" => flow(),
+            "hopfield" => hopfield(),
+            "linalg" => linalg(),
+            "physical_design" => physical_design(),
+            "xbar" => xbar(),
+            other => {
+                eprintln!("unknown bench group {other:?}; known: {all:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Clustering benches. The headline comparison is `gcp` vs `traversing`
+/// on the 400x400 network — the paper's Figure 4 reports GCP reaching the
+/// same quality at roughly half the runtime (106 ms vs 190 ms on their
+/// machine).
+fn clustering() {
+    println!("[bench] clustering");
+    let mut group = BenchGroup::new("clustering");
+    for n in [100usize, 200] {
+        let net = generators::uniform_random(n, 0.06, SEED).unwrap();
+        let k = n.div_ceil(32);
+        group.bench(&format!("msc/{n}"), || msc(&net, k, SEED).unwrap());
+    }
+    let net = testbench(2).network().clone();
+    group.bench("gcp_vs_traversing/gcp", || {
+        gcp(
+            &net,
+            &GcpOptions {
+                max_cluster_size: 64,
+                seed: SEED,
+                ..GcpOptions::default()
+            },
+        )
+        .unwrap()
+    });
+    group.bench("gcp_vs_traversing/traversing", || {
+        traversing(&net, 64, SEED).unwrap()
+    });
+    // A naive traversing that re-factorizes the Laplacian for every k it
+    // scans — the regime where the paper's ~2x GCP speedup shows up; our
+    // library traversing shares one factorization across the scan.
+    group.bench("gcp_vs_traversing/traversing_naive", || {
+        let n = net.neurons();
+        let mut k = n.div_ceil(64).max(1);
+        loop {
+            let clustering = msc(&net, k, SEED).unwrap();
+            if clustering.max_cluster_size() <= 64 || k == n {
+                return clustering;
+            }
+            k += 1;
+        }
+    });
+    for n in [128usize, 256] {
+        let net = generators::planted_clusters(n, n / 32, 0.4, 0.01, SEED)
+            .unwrap()
+            .0;
+        group.bench(&format!("isc/{n}"), || {
+            Isc::new(IscOptions {
+                seed: SEED,
+                ..IscOptions::default()
+            })
+            .run(&net)
+            .unwrap()
+        });
+    }
+    report_artifact(&group.write_json());
+}
+
+/// End-to-end flow benches: the Table 1 pipeline (clustering + placement
+/// + routing) for AutoNCS and the FullCro baseline on a scaled testbench.
+fn flow() {
+    println!("[bench] flow");
+    // A half-scale testbench keeps each iteration under a second while
+    // exercising the exact Table 1 pipeline.
+    let spec = TestbenchSpec {
+        id: 90,
+        patterns: 8,
+        neurons: 160,
+        sparsity: 0.92,
+    };
+    let tb = Testbench::from_spec(spec, SEED).unwrap();
+    let framework = AutoNcs::fast();
+    let mut group = BenchGroup::new("flow");
+    group.bench("autoncs", || framework.run(tb.network()).unwrap());
+    group.bench("fullcro", || framework.baseline(tb.network()).unwrap());
+    report_artifact(&group.write_json());
+}
+
+/// Benches for the Hopfield substrate: training, sparsification, and
+/// recall at the paper's testbench scales.
+fn hopfield() {
+    println!("[bench] hopfield");
+    let mut group = BenchGroup::new("hopfield");
+    for n in [300usize, 500] {
+        let patterns = PatternSet::random_qr(n / 20, n, SEED).unwrap();
+        group.bench(&format!("train/{n}"), || {
+            HopfieldNetwork::train(&patterns).unwrap()
+        });
+    }
+    let patterns = PatternSet::random_qr(20, 400, SEED).unwrap();
+    let trained = HopfieldNetwork::train(&patterns).unwrap();
+    group.bench("sparsify/to_94_percent", || {
+        let mut h = trained.clone();
+        h.sparsify_to(0.94).unwrap();
+        h
+    });
+    let patterns = PatternSet::random_qr(15, 300, SEED).unwrap();
+    let mut recall_net = HopfieldNetwork::train(&patterns).unwrap();
+    recall_net.sparsify_to(0.9447).unwrap();
+    let noisy = patterns.noisy_pattern(0, 0.02, 7).unwrap();
+    group.bench("recall/sync", || recall_net.recall(&noisy, 50).unwrap());
+    group.bench("recall/async", || {
+        recall_net.recall_async(&noisy, 50).unwrap()
+    });
+    report_artifact(&group.write_json());
+}
+
+/// Benches for the numeric kernels backing MSC (the dense generalized
+/// eigensolver) and the placer (the conjugate-gradient minimizer).
+fn linalg() {
+    println!("[bench] linalg");
+    let mut group = BenchGroup::new("linalg");
+    for n in [64usize, 128, 256] {
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut state = 1u64;
+        for i in 0..n {
+            for j in i..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        group.bench(&format!("symmetric_eigen/{n}"), || {
+            SymmetricEigen::new(&a).unwrap()
+        });
+    }
+    for n in [100usize, 200] {
+        let net = generators::uniform_random(n, 0.06, SEED).unwrap();
+        group.bench(&format!("spectral_embedding/{n}"), || {
+            spectral_embedding(&net).unwrap()
+        });
+    }
+    group.bench("cg_quadratic_500d", || {
+        minimize(
+            |x, g| {
+                let mut v = 0.0;
+                for i in 0..x.len() {
+                    let w = 1.0 + (i % 11) as f64;
+                    g[i] = 2.0 * w * x[i];
+                    v += w * x[i] * x[i];
+                }
+                v
+            },
+            (0..500).map(|i| (i as f64 * 0.31).sin()).collect(),
+            &CgOptions::default(),
+        )
+    });
+    report_artifact(&group.write_json());
+}
+
+/// Benches for the placement and routing substrate on realistic hybrid
+/// mappings.
+fn physical_design() {
+    println!("[bench] physical_design");
+    let net = generators::planted_clusters(128, 4, 0.4, 0.01, SEED)
+        .unwrap()
+        .0;
+    let tech = TechnologyModel::nm45();
+    let hybrid = Isc::new(IscOptions {
+        seed: SEED,
+        ..IscOptions::default()
+    })
+    .run(&net)
+    .unwrap();
+    let baseline = full_crossbar(&net, 64).unwrap();
+    let mut group = BenchGroup::new("physical_design");
+    for (tag, mapping) in [("autoncs", &hybrid), ("fullcro", &baseline)] {
+        let nl = Netlist::from_mapping(mapping, &tech);
+        group.bench(&format!("placement/{tag}"), || {
+            place(&nl, &PlacerOptions::fast()).unwrap()
+        });
+    }
+    let nl = Netlist::from_mapping(&hybrid, &tech);
+    let p = place(&nl, &PlacerOptions::fast()).unwrap();
+    group.bench("routing/maze_route", || {
+        route(&nl, &p, &tech, &RouterOptions::default()).unwrap()
+    });
+    report_artifact(&group.write_json());
+}
+
+/// Benches for the analog crossbar device model: ideal dot product vs the
+/// IR-drop nodal solve across array sizes.
+fn xbar() {
+    println!("[bench] xbar");
+    let programmed = |n: usize| {
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| ((i * 31 + j * 7) % 100) as f64 / 100.0)
+                    .collect()
+            })
+            .collect();
+        CrossbarArray::program(&weights, &DeviceModel::default()).expect("valid weights")
+    };
+    let mut group = BenchGroup::new("xbar");
+    for n in [16usize, 64] {
+        let array = programmed(n);
+        let inputs: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        group.bench(&format!("ideal/{n}"), || {
+            array.evaluate_ideal(&inputs).unwrap()
+        });
+    }
+    for n in [16usize, 32, 64] {
+        let array = programmed(n);
+        let inputs: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        group.bench(&format!("ir_drop/{n}"), || {
+            array.evaluate_ir_drop(&inputs).unwrap()
+        });
+    }
+    report_artifact(&group.write_json());
+}

@@ -1,5 +1,9 @@
 //! Shared helpers for the reproduction harness (`repro` binary) and the
-//! criterion benches.
+//! in-tree benchmark runner (`bench` binary).
+
+pub mod harness;
+
+pub use harness::{BenchGroup, BenchResult};
 
 use std::fs;
 use std::io::Write as _;

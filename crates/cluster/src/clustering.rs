@@ -17,7 +17,6 @@ use ncs_net::ConnectionMatrix;
 /// assert_eq!(c.cluster_of(2), Some(1));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Clustering {
     clusters: Vec<Vec<usize>>,
     neurons: usize,

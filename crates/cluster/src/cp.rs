@@ -18,7 +18,6 @@ use crate::ClusterError;
 /// assert_eq!(s.smallest_fitting(65), None);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CrossbarSizeSet {
     sizes: Vec<usize>,
 }
@@ -84,7 +83,6 @@ impl CrossbarSizeSet {
 /// and is what the experiments use. `MuOverS` (`CP = m·u/s`) is an
 /// alternative consistent reading provided for the ablation bench.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CpModel {
     /// `CP = (m / s) · √u` (default, used in all experiments).
     #[default]

@@ -7,7 +7,6 @@ use crate::{kmeans, spectral_embedding, ClusterError, Clustering};
 
 /// Options for [`gcp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GcpOptions {
     /// Maximum allowed cluster size `s` (the largest available crossbar).
     pub max_cluster_size: usize,

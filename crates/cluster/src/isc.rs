@@ -10,7 +10,6 @@ use crate::{
 
 /// Which eigensolver backs the per-iteration spectral embedding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EigenBackend {
     /// Full dense decomposition — exact, `O(n³)`; right for the paper's
     /// 300-500 neuron testbenches.
@@ -29,7 +28,6 @@ pub enum EigenBackend {
 
 /// Options for [`Isc`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IscOptions {
     /// Available crossbar sizes `S` (the paper uses 16..=64 step 4).
     pub sizes: CrossbarSizeSet,
@@ -79,7 +77,6 @@ impl Default for IscOptions {
 
 /// Why an ISC run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StopReason {
     /// Per-iteration average utilization fell below the threshold `t`
     /// (Algorithm 3 line 17).
@@ -97,7 +94,6 @@ pub enum StopReason {
 
 /// Per-iteration record of an ISC run (the data behind Figures 6-9).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IscIteration {
     /// 1-based iteration number `m`.
     pub iteration: usize,
@@ -117,7 +113,6 @@ pub struct IscIteration {
 
 /// Full trace of an ISC run.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IscTrace {
     /// One record per completed iteration.
     pub iterations: Vec<IscIteration>,

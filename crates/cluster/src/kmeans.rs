@@ -1,6 +1,5 @@
 use ncs_linalg::{vector, DenseMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncs_rng::Rng;
 
 use crate::ClusterError;
 
@@ -79,7 +78,7 @@ pub fn kmeans(
     if k == 0 || k > n {
         return Err(ClusterError::InvalidClusterCount { k, points: n });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let centroids = plus_plus_init(points, k, &mut rng);
     lloyd(points, centroids, max_iterations)
 }
@@ -104,7 +103,7 @@ pub(crate) fn kmeans_with_centroids(
     lloyd(points, centroids, max_iterations)
 }
 
-fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut StdRng) -> DenseMatrix {
+fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut Rng) -> DenseMatrix {
     let n = points.nrows();
     let dim = points.ncols();
     let mut centroids = DenseMatrix::zeros(k, dim);
@@ -119,7 +118,7 @@ fn plus_plus_init(points: &DenseMatrix, k: usize, rng: &mut StdRng) -> DenseMatr
             // All points coincide with chosen centroids; pick round-robin.
             c % n
         } else {
-            let mut target = rng.gen::<f64>() * total;
+            let mut target = rng.gen_f64() * total;
             let mut idx = n - 1;
             for (i, &d) in dist_sq.iter().enumerate() {
                 if target < d {

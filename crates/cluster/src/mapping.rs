@@ -11,7 +11,6 @@ use crate::{crossbar_preference, CpModel};
 /// ISC clusters the input and output sets coincide (the cluster members);
 /// for FullCro tiles they are the row/column neuron groups of the tile.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CrossbarAssignment {
     /// Neurons driving the crossbar rows.
     pub inputs: Vec<usize>,
@@ -111,7 +110,6 @@ impl CrossbarAssignment {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HybridMapping {
     neurons: usize,
     crossbars: Vec<CrossbarAssignment>,

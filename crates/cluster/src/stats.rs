@@ -13,7 +13,6 @@ use crate::{CpModel, HybridMapping};
 
 /// Per-neuron fanin+fanout split between crossbars and discrete synapses.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaninFanoutProfile {
     /// Fanin+fanout carried by crossbar connections, per neuron.
     pub crossbar: Vec<usize>,
@@ -90,7 +89,6 @@ impl FaninFanoutProfile {
 
 /// Headline comparison of an AutoNCS mapping against the FullCro baseline.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MappingComparison {
     /// AutoNCS average crossbar utilization.
     pub utilization: f64,

@@ -330,14 +330,25 @@ mod tests {
         let net_path = dir.join("net.txt");
         let net_str = net_path.to_str().unwrap().to_string();
         run(&strings(&[
-            "gen", "--kind", "clusters", "--neurons", "40", "--out", &net_str,
+            "gen",
+            "--kind",
+            "clusters",
+            "--neurons",
+            "40",
+            "--out",
+            &net_str,
         ]))
         .unwrap();
         run(&strings(&["compare", &net_str, "--max-size", "16"])).unwrap();
         let prefix = dir.join("design");
         let prefix_str = prefix.to_str().unwrap().to_string();
         run(&strings(&[
-            "implement", &net_str, "--max-size", "16", "--out-prefix", &prefix_str,
+            "implement",
+            &net_str,
+            "--max-size",
+            "16",
+            "--out-prefix",
+            &prefix_str,
         ]))
         .unwrap();
         let placement = std::fs::read(format!("{prefix_str}_placement.ppm")).unwrap();

@@ -22,7 +22,6 @@ use crate::LinalgError;
 /// assert_eq!(m.shape(), (2, 3));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,

@@ -2,7 +2,6 @@ use crate::{DenseMatrix, LinalgError};
 
 /// A `(row, col, value)` entry used to build sparse matrices.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Triplet {
     /// Row index.
     pub row: usize,
@@ -42,7 +41,6 @@ impl Triplet {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,

@@ -1,57 +1,80 @@
-//! Property-based tests for the linear-algebra kernels.
+//! Seeded property tests for the linear-algebra kernels.
+//!
+//! Formerly a proptest suite; rewritten as deterministic case loops over
+//! `ncs_rng`-generated inputs so the workspace builds offline with no
+//! registry dependencies. The invariants are unchanged; the matrices are
+//! drawn from the same distributions the proptest strategies described.
 
 use ncs_linalg::{CsrMatrix, DenseMatrix, GeneralizedEigen, SymmetricEigen, Triplet};
-use proptest::prelude::*;
+use ncs_rng::Rng;
 
-/// Strategy: a random symmetric matrix of dimension 1..=12 with entries in
-/// [-5, 5].
-fn symmetric_matrix() -> impl Strategy<Value = DenseMatrix> {
-    (1usize..=12).prop_flat_map(|n| {
-        proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |data| {
-            let mut m = DenseMatrix::zeros(n, n);
-            for i in 0..n {
-                for j in i..n {
-                    let v = data[i * n + j];
-                    m[(i, j)] = v;
-                    m[(j, i)] = v;
-                }
-            }
-            m
-        })
-    })
+const CASES: usize = 64;
+
+/// A random symmetric matrix of dimension 1..=12 with entries in [-5, 5].
+fn symmetric_matrix(rng: &mut Rng) -> DenseMatrix {
+    let n = rng.gen_range(1usize..=12);
+    let mut m = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = rng.gen_range(-5.0..5.0);
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    m
 }
 
-/// Strategy: a random binary adjacency matrix (undirected, no self-loops).
-fn adjacency_matrix() -> impl Strategy<Value = DenseMatrix> {
-    (2usize..=10).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::bool::ANY, n * n).prop_map(move |bits| {
-            let mut m = DenseMatrix::zeros(n, n);
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if bits[i * n + j] {
-                        m[(i, j)] = 1.0;
-                        m[(j, i)] = 1.0;
-                    }
-                }
+/// A random binary adjacency matrix (undirected, no self-loops).
+fn adjacency_matrix(rng: &mut Rng) -> DenseMatrix {
+    let n = rng.gen_range(2usize..=10);
+    let mut m = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool() {
+                m[(i, j)] = 1.0;
+                m[(j, i)] = 1.0;
             }
-            m
-        })
-    })
+        }
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random triplets with row/col below `max_idx`, filtered to `n`.
+fn triplets(rng: &mut Rng, n: usize, max_idx: usize, max_len: usize, unit: bool) -> Vec<Triplet> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..max_idx),
+                rng.gen_range(0..max_idx),
+                if unit { 1.0 } else { rng.gen_range(-3.0..3.0) },
+            )
+        })
+        .filter(|(r, c, _)| *r < n && *c < n)
+        .map(|(r, c, v)| Triplet::new(r, c, v))
+        .collect()
+}
 
-    #[test]
-    fn eigen_trace_equals_eigenvalue_sum(a in symmetric_matrix()) {
+#[test]
+fn eigen_trace_equals_eigenvalue_sum() {
+    let mut rng = Rng::seed_from_u64(0xE1);
+    for case in 0..CASES {
+        let a = symmetric_matrix(&mut rng);
         let eig = SymmetricEigen::new(&a).unwrap();
         let trace: f64 = (0..a.nrows()).map(|i| a[(i, i)]).sum();
         let sum: f64 = eig.eigenvalues().iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+        assert!(
+            (trace - sum).abs() < 1e-7 * (1.0 + trace.abs()),
+            "case {case}: trace {trace} vs sum {sum}"
+        );
     }
+}
 
-    #[test]
-    fn eigen_residual_is_small(a in symmetric_matrix()) {
+#[test]
+fn eigen_residual_is_small() {
+    let mut rng = Rng::seed_from_u64(0xE2);
+    for case in 0..CASES {
+        let a = symmetric_matrix(&mut rng);
         let eig = SymmetricEigen::new(&a).unwrap();
         let n = a.nrows();
         for j in 0..n {
@@ -59,32 +82,50 @@ proptest! {
             let av = a.matvec(&v).unwrap();
             let lam = eig.eigenvalues()[j];
             for i in 0..n {
-                prop_assert!((av[i] - lam * v[i]).abs() < 1e-7 * (1.0 + a.max_abs()));
+                assert!(
+                    (av[i] - lam * v[i]).abs() < 1e-7 * (1.0 + a.max_abs()),
+                    "case {case}: residual at ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn eigenvalues_are_sorted(a in symmetric_matrix()) {
+#[test]
+fn eigenvalues_are_sorted() {
+    let mut rng = Rng::seed_from_u64(0xE3);
+    for case in 0..CASES {
+        let a = symmetric_matrix(&mut rng);
         let eig = SymmetricEigen::new(&a).unwrap();
         for w in eig.eigenvalues().windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12);
+            assert!(w[0] <= w[1] + 1e-12, "case {case}: {} > {}", w[0], w[1]);
         }
     }
+}
 
-    #[test]
-    fn eigenvectors_have_unit_norm(a in symmetric_matrix()) {
+#[test]
+fn eigenvectors_have_unit_norm() {
+    let mut rng = Rng::seed_from_u64(0xE4);
+    for case in 0..CASES {
+        let a = symmetric_matrix(&mut rng);
         let eig = SymmetricEigen::new(&a).unwrap();
         for j in 0..a.nrows() {
             let v = eig.eigenvectors().column(j);
             let nrm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-            prop_assert!((nrm - 1.0).abs() < 1e-9);
+            assert!(
+                (nrm - 1.0).abs() < 1e-9,
+                "case {case}: column {j} norm {nrm}"
+            );
         }
     }
+}
 
-    #[test]
-    fn laplacian_generalized_eigenvalues_in_unit_interval(w in adjacency_matrix()) {
+#[test]
+fn laplacian_generalized_eigenvalues_in_unit_interval() {
+    let mut rng = Rng::seed_from_u64(0xE5);
+    for case in 0..CASES {
         // Normalized (random-walk) Laplacian spectrum lies in [0, 2].
+        let w = adjacency_matrix(&mut rng);
         let n = w.nrows();
         let d: Vec<f64> = (0..n).map(|i| w.row(i).iter().sum()).collect();
         let mut l = DenseMatrix::zeros(n, n);
@@ -94,41 +135,38 @@ proptest! {
             }
         }
         let ge = GeneralizedEigen::new(&l, &d).unwrap();
-        prop_assert!(ge.eigenvalues()[0] > -1e-8);
-        prop_assert!(*ge.eigenvalues().last().unwrap() < 2.0 + 1e-8);
+        assert!(ge.eigenvalues()[0] > -1e-8, "case {case}");
+        assert!(
+            *ge.eigenvalues().last().unwrap() < 2.0 + 1e-8,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn csr_matvec_matches_dense(
-        n in 1usize..10,
-        entries in proptest::collection::vec((0usize..10, 0usize..10, -3.0f64..3.0), 0..40)
-    ) {
-        let trips: Vec<Triplet> = entries
-            .into_iter()
-            .filter(|(r, c, _)| *r < n && *c < n)
-            .map(|(r, c, v)| Triplet::new(r, c, v))
-            .collect();
+#[test]
+fn csr_matvec_matches_dense() {
+    let mut rng = Rng::seed_from_u64(0xE6);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..10);
+        let trips = triplets(&mut rng, n, 10, 40, false);
         let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
         let v: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
         let sparse = m.matvec(&v).unwrap();
         let dense = m.to_dense().matvec(&v).unwrap();
         for (a, b) in sparse.iter().zip(&dense) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn csr_roundtrip_preserves_entries(
-        n in 1usize..8,
-        entries in proptest::collection::vec((0usize..8, 0usize..8), 0..20)
-    ) {
-        let trips: Vec<Triplet> = entries
-            .into_iter()
-            .filter(|(r, c)| *r < n && *c < n)
-            .map(|(r, c)| Triplet::new(r, c, 1.0))
-            .collect();
+#[test]
+fn csr_roundtrip_preserves_entries() {
+    let mut rng = Rng::seed_from_u64(0xE7);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..8);
+        let trips = triplets(&mut rng, n, 8, 20, true);
         let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
         let back = CsrMatrix::from_dense(&m.to_dense(), 0.0);
-        prop_assert_eq!(m, back);
+        assert_eq!(m, back, "case {case}");
     }
 }

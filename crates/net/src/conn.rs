@@ -27,7 +27,6 @@ use crate::NetError;
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectionMatrix {
     n: usize,
     words_per_row: usize,

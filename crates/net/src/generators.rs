@@ -6,8 +6,7 @@
 //! provides generators for such networks plus structured generators used by
 //! tests and ablation benches.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncs_rng::Rng;
 
 use crate::{ConnectionMatrix, NetError};
 
@@ -31,10 +30,10 @@ pub fn uniform_random(n: usize, density: f64, seed: u64) -> Result<ConnectionMat
         return Err(NetError::InvalidSparsity { value: density });
     }
     let mut net = ConnectionMatrix::empty(n)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 0..n {
         for j in 0..n {
-            if rng.gen::<f64>() < density {
+            if rng.gen_f64() < density {
                 net.connect(i, j)?;
             }
         }
@@ -71,7 +70,7 @@ pub fn planted_clusters(
         }
     }
     let mut net = ConnectionMatrix::empty(n)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Random permutation hides the block structure.
     let mut perm: Vec<usize> = (0..n).collect();
     for k in (1..n).rev() {
@@ -90,7 +89,7 @@ pub fn planted_clusters(
             }
             let same = community(a) == community(b);
             let p = if same { inside_density } else { noise_density };
-            if rng.gen::<f64>() < p {
+            if rng.gen_f64() < p {
                 net.connect(perm[a], perm[b])?;
                 net.connect(perm[b], perm[a])?;
             }
@@ -130,7 +129,7 @@ pub fn ldpc_like(
     }
     let n = variable + check;
     let mut net = ConnectionMatrix::empty(n)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut checks: Vec<usize> = (0..check).collect();
     for v in 0..variable {
         // Partial Fisher-Yates to pick var_degree distinct checks.
@@ -163,11 +162,11 @@ pub fn banded(
         return Err(NetError::InvalidSparsity { value: density });
     }
     let mut net = ConnectionMatrix::empty(n)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 0..n {
         for offset in 1..=bandwidth {
             let j = (i + offset) % n;
-            if rng.gen::<f64>() < density {
+            if rng.gen_f64() < density {
                 net.connect(i, j)?;
                 net.connect(j, i)?;
             }
@@ -210,7 +209,7 @@ pub fn scale_free(
         });
     }
     let mut net = ConnectionMatrix::empty(n)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Seed clique over the first m+1 neurons.
     let m = edges_per_node;
     let mut endpoints: Vec<usize> = Vec::new();
@@ -274,11 +273,11 @@ pub fn layered(
         boundaries.push(acc);
     }
     let mut net = ConnectionMatrix::empty(n)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for l in 0..layer_sizes.len() - 1 {
         for from in boundaries[l]..boundaries[l + 1] {
             for to in boundaries[l + 1]..boundaries[l + 2] {
-                if rng.gen::<f64>() < density {
+                if rng.gen_f64() < density {
                     net.connect(from, to)?;
                 }
             }

@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncs_rng::Rng;
 
 use crate::NetError;
 
@@ -25,7 +24,6 @@ use crate::NetError;
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PatternSet {
     dimension: usize,
     patterns: Vec<Vec<f64>>,
@@ -45,11 +43,11 @@ impl PatternSet {
                 what: "pattern set",
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let patterns = (0..count)
             .map(|_| {
                 (0..dimension)
-                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                    .map(|_| if rng.gen_bool() { 1.0 } else { -1.0 })
                     .collect()
             })
             .collect();
@@ -140,7 +138,7 @@ impl PatternSet {
         }
         let mut out = self.patterns[idx].clone();
         let flips = (flip_fraction * self.dimension as f64).round() as usize;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Partial Fisher-Yates: choose `flips` distinct positions.
         let mut positions: Vec<usize> = (0..self.dimension).collect();
         for k in 0..flips.min(self.dimension) {

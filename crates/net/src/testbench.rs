@@ -2,7 +2,6 @@ use crate::{ConnectionMatrix, HopfieldNetwork, NetError, PatternSet, Recognition
 
 /// Specification of one of the paper's testbenches.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestbenchSpec {
     /// Testbench id (1, 2 or 3 in the paper).
     pub id: usize,

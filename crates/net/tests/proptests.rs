@@ -1,108 +1,152 @@
-//! Property-based tests for the network substrate.
+//! Seeded property tests for the network substrate.
+//!
+//! Formerly a proptest suite; rewritten as deterministic case loops over
+//! `ncs_rng`-generated inputs so the workspace builds offline with no
+//! registry dependencies. The invariants are unchanged.
 
-use ncs_net::{generators, ConnectionMatrix, PatternSet};
-use proptest::prelude::*;
+use ncs_net::{generators, ConnectionMatrix, HopfieldNetwork, PatternSet};
+use ncs_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn connections_match_iteration_count(
-        n in 1usize..40,
-        pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..80)
-    ) {
-        let pairs: Vec<(usize, usize)> =
-            pairs.into_iter().filter(|(a, b)| *a < n && *b < n).collect();
+/// Random connection pairs with both endpoints below `n`.
+fn random_pairs(rng: &mut Rng, n: usize, max_len: usize) -> Vec<(usize, usize)> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+#[test]
+fn connections_match_iteration_count() {
+    let mut rng = Rng::seed_from_u64(0xA1);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..40);
+        let pairs = random_pairs(&mut rng, n, 80);
         let m = ConnectionMatrix::from_pairs(n, pairs.clone()).unwrap();
-        prop_assert_eq!(m.connections(), m.iter().count());
+        assert_eq!(m.connections(), m.iter().count(), "case {case}");
         for (a, b) in pairs {
-            prop_assert!(m.is_connected(a, b));
+            assert!(m.is_connected(a, b), "case {case}: ({a},{b})");
         }
     }
+}
 
-    #[test]
-    fn symmetrized_is_idempotent(
-        n in 1usize..30,
-        pairs in proptest::collection::vec((0usize..30, 0usize..30), 0..60)
-    ) {
-        let pairs: Vec<(usize, usize)> =
-            pairs.into_iter().filter(|(a, b)| *a < n && *b < n).collect();
+#[test]
+fn symmetrized_is_idempotent() {
+    let mut rng = Rng::seed_from_u64(0xA2);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..30);
+        let pairs = random_pairs(&mut rng, n, 60);
         let m = ConnectionMatrix::from_pairs(n, pairs).unwrap();
         let s = m.symmetrized();
-        prop_assert!(s.is_symmetric());
-        prop_assert_eq!(s.symmetrized(), s.clone());
+        assert!(s.is_symmetric(), "case {case}");
+        assert_eq!(s.symmetrized(), s.clone(), "case {case}");
         // Symmetrizing never loses connections.
-        prop_assert!(s.connections() >= m.connections());
+        assert!(s.connections() >= m.connections(), "case {case}");
     }
+}
 
-    #[test]
-    fn difference_then_union_restores(
-        n in 1usize..25,
-        pairs in proptest::collection::vec((0usize..25, 0usize..25), 0..50),
-        cut in proptest::collection::vec(0usize..25, 0..10)
-    ) {
-        let pairs: Vec<(usize, usize)> =
-            pairs.into_iter().filter(|(a, b)| *a < n && *b < n).collect();
+#[test]
+fn difference_then_union_restores() {
+    let mut rng = Rng::seed_from_u64(0xA3);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..25);
+        let pairs = random_pairs(&mut rng, n, 50);
         let m = ConnectionMatrix::from_pairs(n, pairs).unwrap();
-        let members: Vec<usize> = cut.into_iter().filter(|&c| c < n).collect();
+        let cut_len = rng.gen_range(0usize..10);
+        let members: Vec<usize> = (0..cut_len).map(|_| rng.gen_range(0..n)).collect();
         let mut remaining = m.clone();
         let removed = remaining.remove_within(&members);
-        prop_assert_eq!(removed, m.connections() - remaining.connections());
+        assert_eq!(
+            removed,
+            m.connections() - remaining.connections(),
+            "case {case}"
+        );
         // Removed connections all had both endpoints in members.
         let removed_net = m.difference(&remaining).unwrap();
         for (i, j) in removed_net.iter() {
-            prop_assert!(members.contains(&i) && members.contains(&j));
+            assert!(
+                members.contains(&i) && members.contains(&j),
+                "case {case}: ({i},{j})"
+            );
         }
-        prop_assert_eq!(remaining.union(&removed_net).unwrap(), m);
+        assert_eq!(remaining.union(&removed_net).unwrap(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn fanin_fanout_sums_to_twice_connections(
-        n in 1usize..25,
-        pairs in proptest::collection::vec((0usize..25, 0usize..25), 0..50)
-    ) {
-        let pairs: Vec<(usize, usize)> =
-            pairs.into_iter().filter(|(a, b)| *a < n && *b < n).collect();
+#[test]
+fn fanin_fanout_sums_to_twice_connections() {
+    let mut rng = Rng::seed_from_u64(0xA4);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..25);
+        let pairs = random_pairs(&mut rng, n, 50);
         let m = ConnectionMatrix::from_pairs(n, pairs).unwrap();
         let total: usize = (0..n).map(|i| m.fanin_fanout(i)).sum();
-        prop_assert_eq!(total, 2 * m.connections());
+        assert_eq!(total, 2 * m.connections(), "case {case}");
     }
+}
 
-    #[test]
-    fn noisy_pattern_flip_count_is_exact(dim in 1usize..200, frac in 0.0f64..1.0) {
+#[test]
+fn noisy_pattern_flip_count_is_exact() {
+    let mut rng = Rng::seed_from_u64(0xA5);
+    for case in 0..CASES {
+        let dim = rng.gen_range(1usize..200);
+        let frac = rng.gen_range(0.0..1.0);
         let s = PatternSet::random_qr(1, dim, 9).unwrap();
         let noisy = s.noisy_pattern(0, frac, 4).unwrap();
-        let flips = s.pattern(0).iter().zip(&noisy).filter(|(a, b)| a != b).count();
-        prop_assert_eq!(flips, (frac * dim as f64).round() as usize);
+        let flips = s
+            .pattern(0)
+            .iter()
+            .zip(&noisy)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(
+            flips,
+            (frac * dim as f64).round() as usize,
+            "case {case}: dim={dim} frac={frac}"
+        );
     }
+}
 
-    #[test]
-    fn hopfield_async_recall_is_a_descent(
-        patterns in 1usize..4,
-        dim in 20usize..60,
-        noise in 0.0f64..0.4,
-        seed in 0u64..50
-    ) {
-        use ncs_net::{HopfieldNetwork, PatternSet};
+#[test]
+fn hopfield_async_recall_is_a_descent() {
+    let mut rng = Rng::seed_from_u64(0xA6);
+    for case in 0..CASES {
+        let patterns = rng.gen_range(1usize..4);
+        let dim = rng.gen_range(20usize..60);
+        let noise = rng.gen_range(0.0..0.4);
+        let seed = rng.gen_range(0u64..50);
         let set = PatternSet::random_qr(patterns, dim, seed).unwrap();
         let mut h = HopfieldNetwork::train(&set).unwrap();
         h.sparsify_to(0.7).unwrap();
         let noisy = set.noisy_pattern(0, noise, seed ^ 1).unwrap();
         let e0 = h.energy(&noisy).unwrap();
         let out = h.recall_async(&noisy, 100).unwrap();
-        prop_assert!(out.converged, "async recall must reach a fixed point");
+        assert!(
+            out.converged,
+            "case {case}: async recall must reach a fixed point"
+        );
         let e1 = h.energy(&out.state).unwrap();
-        prop_assert!(e1 <= e0 + 1e-9, "energy rose {e0} -> {e1}");
+        assert!(e1 <= e0 + 1e-9, "case {case}: energy rose {e0} -> {e1}");
         // The fixed point really is fixed.
         let again = h.recall_async(&out.state, 2).unwrap();
-        prop_assert_eq!(again.state, out.state);
+        assert_eq!(again.state, out.state, "case {case}");
     }
+}
 
-    #[test]
-    fn uniform_random_within_density_bounds(n in 10usize..60, density in 0.0f64..0.5) {
+#[test]
+fn uniform_random_within_density_bounds() {
+    let mut rng = Rng::seed_from_u64(0xA7);
+    for case in 0..CASES {
+        let n = rng.gen_range(10usize..60);
+        let density = rng.gen_range(0.0..0.5);
         let net = generators::uniform_random(n, density, 11).unwrap();
         let expected = density * (n * n) as f64;
         let sd = (expected.max(1.0)).sqrt();
-        prop_assert!((net.connections() as f64 - expected).abs() < 6.0 * sd + 2.0);
+        assert!(
+            (net.connections() as f64 - expected).abs() < 6.0 * sd + 2.0,
+            "case {case}: n={n} density={density} got {}",
+            net.connections()
+        );
     }
 }

@@ -8,8 +8,7 @@
 //! schedule. The same mixed-size legalizer finishes both placers, so the
 //! comparison isolates the global-placement strategy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncs_rng::Rng;
 
 use crate::place::finalize_placement;
 use crate::{Netlist, PhysError, Placement};
@@ -91,7 +90,7 @@ pub fn place_annealed(netlist: &Netlist, options: &AnnealOptions) -> Result<Plac
         });
     }
 
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Rng::seed_from_u64(options.seed);
     // Initial layout: the same regular grid the analytical placer uses.
     let total = netlist.total_cell_area() * options.omega * options.omega * 2.0;
     let cols = (n as f64).sqrt().ceil() as usize;
@@ -174,7 +173,7 @@ pub fn place_annealed(netlist: &Netlist, options: &AnnealOptions) -> Result<Plac
             let new_wl: f64 = wires_of[i].iter().map(|&w| hpwl_of(w, &xs, &ys)).sum();
             let new_ov = overlap_of(i, new_x, new_y, &xs, &ys);
             let delta = (new_wl - old_wl) + penalty * (new_ov - old_ov);
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            let accept = delta <= 0.0 || rng.gen_f64() < (-delta / temperature).exp();
             if accept {
                 hpwl_total += new_wl - old_wl;
                 overlap_total += new_ov - old_ov;

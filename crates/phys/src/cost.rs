@@ -5,7 +5,6 @@ use crate::{Netlist, Placement, Routing};
 /// Weights `(α, β, δ)` of the physical cost function (Eq. 3):
 /// `Cost = α·L + β·A + δ·T`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostWeights {
     /// Weight of total wirelength `L`.
     pub alpha: f64,
@@ -28,7 +27,6 @@ impl Default for CostWeights {
 
 /// The evaluated physical cost of a placed-and-routed design.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhysicalCost {
     /// Total routed wirelength `L`, µm.
     pub wirelength_um: f64,

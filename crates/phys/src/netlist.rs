@@ -11,7 +11,6 @@ pub type WireId = usize;
 
 /// A placeable cell: a crossbar, a neuron, or a discrete synapse.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cell {
     /// Cell id (index into [`Netlist::cells`]).
     pub id: CellId,
@@ -31,7 +30,6 @@ pub struct Cell {
 /// neuron ↔ synapse), but the wirelength models accept arbitrary pin
 /// counts.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Wire {
     /// Wire id (index into [`Netlist::wires`]).
     pub id: WireId,
@@ -62,7 +60,6 @@ pub struct Wire {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Netlist {
     /// All cells; `cells[i].id == i`.
     pub cells: Vec<Cell>,

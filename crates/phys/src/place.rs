@@ -68,7 +68,6 @@ impl PlacerOptions {
 
 /// Result of placement: legalized cell-center coordinates.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Placement {
     /// Cell-center x coordinates, µm (indexed by [`CellId`]).
     pub x: Vec<f64>,
@@ -266,7 +265,10 @@ fn detailed_swap(netlist: &Netlist, placement: &mut Placement, passes: usize) {
     let mut groups: std::collections::HashMap<(u64, u64), Vec<usize>> =
         std::collections::HashMap::new();
     for cell in &netlist.cells {
-        let key = ((cell.dims.width * 1e6) as u64, (cell.dims.height * 1e6) as u64);
+        let key = (
+            (cell.dims.width * 1e6) as u64,
+            (cell.dims.height * 1e6) as u64,
+        );
         groups.entry(key).or_default().push(cell.id);
     }
     for _ in 0..passes {

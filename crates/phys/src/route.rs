@@ -35,7 +35,6 @@ impl Default for RouterOptions {
 
 /// A single routed wire.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoutedWire {
     /// The wire this path implements.
     pub wire: WireId,
@@ -49,7 +48,6 @@ pub struct RoutedWire {
 
 /// Per-bin wire congestion, for the Figure 10 heatmaps.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CongestionMap {
     /// Grid columns.
     pub cols: usize,
@@ -93,7 +91,6 @@ impl CongestionMap {
 
 /// Result of routing a placed netlist.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Routing {
     /// One routed path per wire (same order as the netlist wires).
     pub routed: Vec<RoutedWire>,

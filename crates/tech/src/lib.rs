@@ -31,7 +31,6 @@ use std::fmt;
 
 /// The kind of a physical cell in the NCS layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CellKind {
     /// A square memristor crossbar of the given dimension.
     Crossbar(usize),
@@ -53,7 +52,6 @@ impl fmt::Display for CellKind {
 
 /// Physical footprint of a cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CellDims {
     /// Width in µm.
     pub width: f64,
@@ -75,7 +73,6 @@ impl CellDims {
 /// magnitude as Table 1; the reproduction targets relative reductions, not
 /// absolute values.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TechnologyModel {
     /// Memristor cell pitch inside a crossbar, µm.
     pub memristor_pitch_um: f64,

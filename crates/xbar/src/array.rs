@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncs_rng::Rng;
 
 use crate::{DeviceModel, XbarError};
 
@@ -16,7 +15,6 @@ use crate::{DeviceModel, XbarError};
 ///   relaxation. This is the effect that limits practical crossbars to
 ///   ~64×64 (paper Section 2.1).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CrossbarArray {
     rows: usize,
     cols: usize,
@@ -97,13 +95,10 @@ impl CrossbarArray {
         if sigma <= 0.0 {
             return self;
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let (g_off, g_on) = (self.device.g_off(), self.device.g_on());
         for g in &mut self.conductance {
-            // Box-Muller from two uniforms keeps us off rand_distr.
-            let u1: f64 = rng.gen::<f64>().max(1e-12);
-            let u2: f64 = rng.gen();
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let z = rng.normal(0.0, 1.0);
             *g = (*g * (sigma * z).exp()).clamp(g_off, g_on);
         }
         self
@@ -142,10 +137,10 @@ impl CrossbarArray {
         if stuck_on == 0.0 && stuck_off == 0.0 {
             return self;
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let (g_off, g_on) = (self.device.g_off(), self.device.g_on());
         for g in &mut self.conductance {
-            let roll: f64 = rng.gen();
+            let roll: f64 = rng.gen_f64();
             if roll < stuck_on {
                 *g = g_on;
             } else if roll < stuck_on + stuck_off {
@@ -302,7 +297,6 @@ impl CrossbarArray {
 /// `minus` array, and the output is the current difference — the standard
 /// technique for representing signed synapses with positive conductances.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignedCrossbar {
     plus: CrossbarArray,
     minus: CrossbarArray,

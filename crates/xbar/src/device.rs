@@ -10,7 +10,6 @@ use crate::XbarError;
 /// through long rows loses voltage across the accumulated segment
 /// resistance.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceModel {
     /// Low-resistance (fully "on") state, Ω.
     pub r_on_ohm: f64,

@@ -8,14 +8,12 @@
 //! fraction of the remaining distance — so programming cost (pulse count)
 //! and residual programming error become measurable quantities.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncs_rng::Rng;
 
 use crate::{CrossbarArray, DeviceModel, XbarError};
 
 /// Pulse-programming parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProgrammingScheme {
     /// Nominal fraction of the remaining conductance gap closed per pulse.
     pub pulse_fraction: f64,
@@ -41,7 +39,6 @@ impl Default for ProgrammingScheme {
 
 /// Outcome of a write-verify programming run.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProgrammingReport {
     /// Total programming pulses issued across the array.
     pub total_pulses: usize,
@@ -85,7 +82,7 @@ pub fn program_write_verify(
     // conductance through the pulse loop.
     let ideal = CrossbarArray::program(weights, device)?;
     let span = device.g_on() - device.g_off();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut total_pulses = 0usize;
     let mut max_residual = 0.0_f64;
     let mut converged = true;
@@ -101,10 +98,8 @@ pub fn program_write_verify(
                     ok = true;
                     break;
                 }
-                // Pulse with multiplicative strength noise (Box-Muller).
-                let u1: f64 = rng.gen::<f64>().max(1e-12);
-                let u2: f64 = rng.gen();
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                // Pulse with multiplicative strength noise.
+                let z = rng.normal(0.0, 1.0);
                 let strength = scheme.pulse_fraction * (1.0 + scheme.pulse_noise_sigma * z);
                 g += strength.clamp(0.0, 2.0) * (target - g);
                 g = g.clamp(device.g_off(), device.g_on());

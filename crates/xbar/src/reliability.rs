@@ -1,11 +1,9 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ncs_rng::Rng;
 
 use crate::{relative_error, CrossbarArray, DeviceModel, XbarError};
 
 /// One point of the size-reliability sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReliabilityPoint {
     /// Array dimension `s` (the array is `s × s`).
     pub size: usize,
@@ -53,14 +51,14 @@ pub fn reliability_sweep(
         let mut ir_sum = 0.0;
         let mut combined_sum = 0.0;
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(
+            let mut rng = Rng::seed_from_u64(
                 seed ^ (size as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ trial as u64,
             );
             let weights: Vec<Vec<f64>> = (0..size)
-                .map(|_| (0..size).map(|_| rng.gen::<f64>()).collect())
+                .map(|_| (0..size).map(|_| rng.gen_f64()).collect())
                 .collect();
             let inputs: Vec<f64> = (0..size)
-                .map(|_| if rng.gen::<bool>() { 1.0 } else { 0.0 })
+                .map(|_| if rng.gen_bool() { 1.0 } else { 0.0 })
                 .collect();
             let clean = CrossbarArray::program(&weights, device)?;
             let ideal = clean.evaluate_ideal(&inputs)?;

@@ -1,19 +1,27 @@
-//! Property-based tests for the crossbar device model.
+//! Seeded property tests for the crossbar device model.
+//!
+//! Formerly a proptest suite; rewritten as deterministic case loops over
+//! `ncs_rng`-generated inputs so the workspace builds offline with no
+//! registry dependencies. The invariants are unchanged.
 
+use ncs_rng::Rng;
 use ncs_xbar::{relative_error, CrossbarArray, DeviceModel, SignedCrossbar};
-use proptest::prelude::*;
 
-fn weights(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, n), n)
+const CASES: usize = 24;
+
+/// An `n` by `n` weight matrix with entries in [0, 1).
+fn weights(rng: &mut Rng, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_f64()).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn ideal_output_is_linear_in_inputs(n in 2usize..8, w in (2usize..8).prop_flat_map(weights)) {
-        let n = w.len().min(n.max(2));
-        let w: Vec<Vec<f64>> = w.into_iter().take(n).map(|r| r.into_iter().take(n).collect()).collect();
+#[test]
+fn ideal_output_is_linear_in_inputs() {
+    let mut rng = Rng::seed_from_u64(0x7831);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..8);
+        let w = weights(&mut rng, n);
         let array = CrossbarArray::program(&w, &DeviceModel::default()).unwrap();
         let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
@@ -22,34 +30,47 @@ proptest! {
         let ob = array.evaluate_ideal(&b).unwrap();
         let osum = array.evaluate_ideal(&sum).unwrap();
         for j in 0..n {
-            prop_assert!((osum[j] - (oa[j] + ob[j])).abs() < 1e-9);
+            assert!(
+                (osum[j] - (oa[j] + ob[j])).abs() < 1e-9,
+                "case {case}: col {j}"
+            );
         }
     }
+}
 
-    #[test]
-    fn ir_drop_never_exceeds_ideal_for_nonnegative_inputs(n in 2usize..10, seed in 0u64..100) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let w: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..n).map(|_| rng.gen::<f64>()).collect()).collect();
-        let inputs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+#[test]
+fn ir_drop_never_exceeds_ideal_for_nonnegative_inputs() {
+    let mut rng = Rng::seed_from_u64(0x7832);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..10);
+        let w = weights(&mut rng, n);
+        let inputs: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
         let array = CrossbarArray::program(&w, &DeviceModel::default()).unwrap();
         let ideal = array.evaluate_ideal(&inputs).unwrap();
         let real = array.evaluate_ir_drop(&inputs).unwrap();
         for j in 0..n {
-            prop_assert!(real[j] <= ideal[j] + 1e-12, "col {j}: {} > {}", real[j], ideal[j]);
-            prop_assert!(real[j] >= 0.0);
+            assert!(
+                real[j] <= ideal[j] + 1e-12,
+                "case {case}: col {j}: {} > {}",
+                real[j],
+                ideal[j]
+            );
+            assert!(real[j] >= 0.0, "case {case}: col {j}");
         }
     }
+}
 
-    #[test]
-    fn signed_ideal_matches_weight_dot_product_shape(n in 2usize..7, seed in 0u64..100) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let w: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()).collect();
-        let inputs: Vec<f64> =
-            (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+#[test]
+fn signed_ideal_matches_weight_dot_product_shape() {
+    let mut rng = Rng::seed_from_u64(0x7833);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..7);
+        let w: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_f64() * 2.0 - 1.0).collect())
+            .collect();
+        let inputs: Vec<f64> = (0..n)
+            .map(|_| if rng.gen_bool() { 1.0 } else { -1.0 })
+            .collect();
         let device = DeviceModel::default();
         let xbar = SignedCrossbar::program(&w, &device).unwrap();
         let out = xbar.evaluate_ideal(&inputs).unwrap();
@@ -59,28 +80,41 @@ proptest! {
         for j in 0..n {
             let dot: f64 = (0..n).map(|i| w[i][j] * inputs[i]).sum();
             let expect = device.v_read * span * dot;
-            prop_assert!(
+            assert!(
                 (out[j] - expect).abs() < 1e-9 * (1.0 + expect.abs()),
-                "col {j}: {} vs {}",
+                "case {case}: col {j}: {} vs {}",
                 out[j],
                 expect
             );
         }
     }
+}
 
-    #[test]
-    fn variation_error_grows_with_sigma(n in 3usize..8, seed in 0u64..50) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let w: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..n).map(|_| rng.gen::<f64>()).collect()).collect();
+#[test]
+fn variation_error_grows_with_sigma() {
+    let mut rng = Rng::seed_from_u64(0x7834);
+    for case in 0..CASES {
+        let n = rng.gen_range(3usize..8);
+        let seed = rng.gen_range(0u64..50);
+        let w = weights(&mut rng, n);
         let inputs = vec![1.0; n];
         let clean = CrossbarArray::program(&w, &DeviceModel::default()).unwrap();
         let ideal = clean.evaluate_ideal(&inputs).unwrap();
-        let small = clean.clone().with_variation(0.02, seed).evaluate_ideal(&inputs).unwrap();
-        let large = clean.clone().with_variation(0.50, seed).evaluate_ideal(&inputs).unwrap();
+        let small = clean
+            .clone()
+            .with_variation(0.02, seed)
+            .evaluate_ideal(&inputs)
+            .unwrap();
+        let large = clean
+            .clone()
+            .with_variation(0.50, seed)
+            .evaluate_ideal(&inputs)
+            .unwrap();
         let e_small = relative_error(&ideal, &small);
         let e_large = relative_error(&ideal, &large);
-        prop_assert!(e_large + 1e-12 >= e_small, "{e_large} < {e_small}");
+        assert!(
+            e_large + 1e-12 >= e_small,
+            "case {case}: n={n} seed={seed}: {e_large} < {e_small}"
+        );
     }
 }

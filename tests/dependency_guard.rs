@@ -1,0 +1,78 @@
+//! Guards the workspace's zero-registry-dependency invariant.
+//!
+//! The whole point of `ncs-rng` and the in-tree bench harness is that the
+//! build never touches crates.io, so `cargo build --offline` works with an
+//! empty registry. This test asserts, via `cargo metadata`, that every
+//! package in the dependency graph is a local path package — any future
+//! `rand = "0.8"`-style regression fails here before it fails in CI.
+
+use std::process::Command;
+
+/// Runs `cargo metadata` for the workspace this test was compiled from.
+fn metadata_json() -> String {
+    let cargo = env!("CARGO");
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/../../Cargo.toml");
+    let out = Command::new(cargo)
+        .args([
+            "metadata",
+            "--format-version",
+            "1",
+            "--offline",
+            "--manifest-path",
+            manifest,
+        ])
+        .output()
+        .expect("cargo metadata runs");
+    assert!(
+        out.status.success(),
+        "cargo metadata failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("cargo metadata emits UTF-8")
+}
+
+#[test]
+fn dependency_graph_has_no_registry_packages() {
+    let meta = metadata_json();
+    // Registry (and git) packages carry a `"source":"registry+..."` (or
+    // "git+...") field; local path packages serialize `"source":null`.
+    assert!(
+        !meta.contains("registry+"),
+        "workspace resolves at least one crates.io package; \
+         all dependencies must be in-tree path dependencies"
+    );
+    assert!(
+        !meta.contains("\"source\":\"git+") && !meta.contains("\"source\": \"git+"),
+        "workspace resolves at least one git dependency"
+    );
+}
+
+#[test]
+fn workspace_contains_expected_crates() {
+    let meta = metadata_json();
+    for name in [
+        "ncs-rng",
+        "ncs-linalg",
+        "ncs-net",
+        "ncs-cluster",
+        "ncs-tech",
+        "ncs-phys",
+        "ncs-xbar",
+        "autoncs",
+        "ncs-bench",
+    ] {
+        assert!(
+            meta.contains(&format!("\"name\":\"{name}\""))
+                || meta.contains(&format!("\"name\": \"{name}\"")),
+            "expected workspace member {name} missing from cargo metadata"
+        );
+    }
+    // And nothing from the old external dependency set survives.
+    for banned in ["\"rand\"", "\"proptest\"", "\"criterion\"", "\"serde\""] {
+        assert!(
+            !meta.contains(&format!("\"name\":{banned}"))
+                && !meta.contains(&format!("\"name\": {banned}")),
+            "banned external dependency {banned} present in cargo metadata"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end determinism: with a fixed seed the whole AutoNCS flow —
+//! clustering, ISC mapping, placement, routing, cost evaluation — must
+//! produce bit-identical results run to run. This is what makes the
+//! `BENCH_*.json` artifacts and the paper-claims tests reproducible, and
+//! it pins the `ncs-rng` streams end to end (a silent PRNG change shows
+//! up here even if every unit invariant still holds).
+
+use autoncs::AutoNcs;
+use ncs_net::{Testbench, TestbenchSpec};
+
+const SEED: u64 = 42;
+
+fn spec() -> TestbenchSpec {
+    TestbenchSpec {
+        id: 77,
+        patterns: 6,
+        neurons: 120,
+        sparsity: 0.92,
+    }
+}
+
+/// Mapping statistics + physical cost, extracted for comparison.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    crossbars: usize,
+    size_histogram: Vec<(usize, usize)>,
+    outliers: usize,
+    realized_connections: usize,
+    wirelength_um: f64,
+    area_um2: f64,
+    average_delay_ns: f64,
+}
+
+fn run_once() -> Snapshot {
+    let tb = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let framework = AutoNcs::fast();
+    let result = framework.run(tb.network()).expect("flow succeeds");
+    Snapshot {
+        crossbars: result.mapping.crossbars().len(),
+        size_histogram: result.mapping.size_histogram(),
+        outliers: result.mapping.outliers().len(),
+        realized_connections: result.mapping.realized_connections(),
+        wirelength_um: result.design.cost.wirelength_um,
+        area_um2: result.design.cost.area_um2,
+        average_delay_ns: result.design.cost.average_delay_ns,
+    }
+}
+
+#[test]
+fn end_to_end_flow_is_deterministic_for_fixed_seed() {
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(
+        first, second,
+        "two runs with SEED={SEED} must agree on every mapping statistic and cost term"
+    );
+    // Sanity: the flow did real work (not trivially equal empty results).
+    assert!(first.crossbars > 0);
+    assert!(first.wirelength_um > 0.0);
+}
+
+#[test]
+fn baseline_flow_is_deterministic_for_fixed_seed() {
+    let tb = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let framework = AutoNcs::fast();
+    let a = framework.baseline(tb.network()).expect("baseline succeeds");
+    let b = framework.baseline(tb.network()).expect("baseline succeeds");
+    assert_eq!(a.design.cost.wirelength_um, b.design.cost.wirelength_um);
+    assert_eq!(a.design.cost.area_um2, b.design.cost.area_um2);
+    assert_eq!(a.mapping.crossbars().len(), b.mapping.crossbars().len());
+}
+
+#[test]
+fn testbench_generation_is_deterministic_for_fixed_seed() {
+    let a = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let b = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    assert_eq!(a.network(), b.network());
+    // Different seeds genuinely change the network (guards against a
+    // generator that silently ignores its seed).
+    let c = Testbench::from_spec(spec(), SEED + 1).expect("valid spec");
+    assert_ne!(a.network(), c.network());
+}
