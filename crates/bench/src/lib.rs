@@ -1,6 +1,9 @@
 //! Shared helpers for the reproduction harness (`repro` binary) and the
 //! in-tree benchmark runner (`bench` binary).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod harness;
 
 pub use harness::{BenchGroup, BenchResult};

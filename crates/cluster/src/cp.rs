@@ -44,7 +44,11 @@ impl CrossbarSizeSet {
 
     /// The paper's specification: 16, 20, 24, …, 64.
     pub fn paper() -> Self {
-        Self::new((16..=64).step_by(4)).expect("static size set is non-empty")
+        // Built directly: the static range is already sorted, deduplicated,
+        // and zero-free, so the fallible constructor has nothing to check.
+        CrossbarSizeSet {
+            sizes: (16..=64).step_by(4).collect(),
+        }
     }
 
     /// A single-size set (used by the FullCro baseline).
@@ -59,7 +63,8 @@ impl CrossbarSizeSet {
 
     /// Largest available size.
     pub fn max(&self) -> usize {
-        *self.sizes.last().expect("size set is non-empty")
+        // Non-empty by construction (every constructor rejects empty sets).
+        self.sizes[self.sizes.len() - 1]
     }
 
     /// All sizes, ascending.

@@ -79,6 +79,11 @@ pub(crate) fn gcp_from_embedding(
     if s == 0 {
         return Err(ClusterError::InvalidSizeLimit { limit: 0 });
     }
+    if options.max_outer_iterations == 0 {
+        return Err(ClusterError::InvalidIterationBudget {
+            what: "max_outer_iterations",
+        });
+    }
     // Step 2: predicted cluster count k = n / s (at least 1).
     let mut k = n.div_ceil(s).max(1);
     let mut assignment: Option<Vec<usize>> = None;
@@ -132,8 +137,14 @@ pub(crate) fn gcp_from_embedding(
         }
     }
     // Outer budget exhausted: the last assignment is already size-feasible
-    // because the inner loop ran to completion.
-    let assignment = assignment.expect("at least one outer iteration ran");
+    // because the inner loop ran to completion. `assignment` is `Some`
+    // whenever at least one outer iteration ran, which the budget check
+    // above guarantees — but keep the degenerate path an error, not a panic.
+    let Some(assignment) = assignment else {
+        return Err(ClusterError::InvalidIterationBudget {
+            what: "max_outer_iterations",
+        });
+    };
     Ok(Clustering::from_assignment(&assignment, k))
 }
 

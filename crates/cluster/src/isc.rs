@@ -280,7 +280,7 @@ impl Isc {
 
             // Line 5: the CP quantile q.
             let mut cps: Vec<f64> = candidates.iter().map(|c| c.cp).collect();
-            cps.sort_by(|a, b| a.partial_cmp(b).expect("CP values are finite"));
+            cps.sort_by(|a, b| a.total_cmp(b));
             let q_idx = ((opts.selection_quantile * cps.len() as f64).ceil() as usize)
                 .saturating_sub(1)
                 .min(cps.len() - 1);
@@ -292,7 +292,7 @@ impl Isc {
                 let quantile_cluster = candidates
                     .iter()
                     .filter(|c| c.cp >= q)
-                    .min_by(|a, b| a.cp.partial_cmp(&b.cp).expect("CP values are finite"));
+                    .min_by(|a, b| a.cp.total_cmp(&b.cp));
                 if let Some(qc) = quantile_cluster {
                     if qc.active.len() < opts.sizes.min() {
                         stop_reason = StopReason::QuantileClusterTooSmall;

@@ -191,19 +191,23 @@ fn lloyd(
                 // centroid whose source cluster keeps at least one member,
                 // so repairs of several empty clusters cannot steal from
                 // each other (degenerate all-duplicate inputs).
+                // `k <= n` guarantees a donor cluster with more than one
+                // member; if that invariant ever broke, leaving the
+                // cluster empty beats panicking mid-flow.
                 let far = (0..n)
                     .filter(|&i| counts[assignment[i]] > 1)
                     .max_by(|&a, &b| {
                         let da = vector::distance_sq(points.row(a), centroids.row(assignment[a]));
                         let db = vector::distance_sq(points.row(b), centroids.row(assignment[b]));
-                        da.partial_cmp(&db).expect("distances are finite")
-                    })
-                    .expect("k <= n guarantees a donor cluster with >1 member");
-                counts[assignment[far]] -= 1;
-                counts[c] += 1;
-                centroids.row_mut(c).copy_from_slice(points.row(far));
-                assignment[far] = c;
-                changed = true;
+                        da.total_cmp(&db)
+                    });
+                if let Some(far) = far {
+                    counts[assignment[far]] -= 1;
+                    counts[c] += 1;
+                    centroids.row_mut(c).copy_from_slice(points.row(far));
+                    assignment[far] = c;
+                    changed = true;
+                }
             }
         }
         iterations += 1;

@@ -189,9 +189,11 @@ pub fn spectral_embedding_partial(
         .collect();
     let (_, vectors) = lanczos_largest(
         |x, y| {
-            let wx = w_norm.matvec(x).expect("square matvec");
+            // Infallible by shape: w_norm is n×n and Lanczos hands us
+            // length-n slices.
+            w_norm.matvec_into(x, y);
             for i in 0..n {
-                y[i] = (2.0 - connected[i]) * x[i] + wx[i];
+                y[i] += (2.0 - connected[i]) * x[i];
             }
         },
         n,

@@ -124,6 +124,7 @@ impl MappingComparison {
 
     /// AutoNCS utilization normalized to the baseline (>1 means better).
     pub fn normalized_utilization(&self) -> f64 {
+        // ncs-lint: allow(float-eq) — exact-zero baseline guards the division
         if self.baseline_utilization == 0.0 {
             0.0
         } else {
@@ -134,6 +135,7 @@ impl MappingComparison {
     /// AutoNCS average fanin+fanout normalized to the baseline (<1 means
     /// less congestion; the paper reports ≈0.8).
     pub fn normalized_fanin_fanout(&self) -> f64 {
+        // ncs-lint: allow(float-eq) — exact-zero baseline guards the division
         if self.baseline_fanin_fanout == 0.0 {
             0.0
         } else {

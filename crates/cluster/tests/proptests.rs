@@ -16,7 +16,7 @@ const CASES: usize = 12;
 
 #[test]
 fn msc_partitions_all_neurons() {
-    let mut rng = Rng::seed_from_u64(0x6d73_63);
+    let mut rng = Rng::seed_from_u64(0x6d7363);
     for case in 0..CASES {
         let n = rng.gen_range(8usize..40);
         let k = rng.gen_range(1usize..6).min(n);
@@ -36,7 +36,7 @@ fn msc_partitions_all_neurons() {
 
 #[test]
 fn gcp_never_exceeds_limit() {
-    let mut rng = Rng::seed_from_u64(0x67_6370);
+    let mut rng = Rng::seed_from_u64(0x676370);
     for case in 0..CASES {
         let n = rng.gen_range(10usize..60);
         let limit = rng.gen_range(4usize..20);
@@ -59,7 +59,7 @@ fn gcp_never_exceeds_limit() {
 
 #[test]
 fn isc_covering_invariant() {
-    let mut rng = Rng::seed_from_u64(0x69_7363);
+    let mut rng = Rng::seed_from_u64(0x697363);
     for case in 0..CASES {
         let n = rng.gen_range(16usize..70);
         let density = rng.gen_range(0.03f64..0.15);
@@ -86,7 +86,7 @@ fn isc_covering_invariant() {
 
 #[test]
 fn fullcro_covers_everything() {
-    let mut rng = Rng::seed_from_u64(0x66_6372);
+    let mut rng = Rng::seed_from_u64(0x666372);
     for case in 0..CASES {
         let n = rng.gen_range(10usize..80);
         let size = rng.gen_range(8usize..40);
@@ -104,7 +104,7 @@ fn fullcro_covers_everything() {
 #[test]
 fn cp_orderings_hold_for_any_m_s() {
     use ncs_cluster::crossbar_preference;
-    let mut rng = Rng::seed_from_u64(0x63_70);
+    let mut rng = Rng::seed_from_u64(0x6370);
     // Pure arithmetic, so sweep many more cases than the spectral tests.
     for case in 0..200 {
         let m = rng.gen_range(0usize..5000);

@@ -52,6 +52,7 @@ impl ComparisonReport {
 }
 
 fn reduction(baseline: f64, ours: f64) -> f64 {
+    // ncs-lint: allow(float-eq) — exact-zero baseline guards the division
     if baseline == 0.0 {
         0.0
     } else {

@@ -188,6 +188,7 @@ impl DenseMatrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // ncs-lint: allow(float-eq) — exact-zero sparsity skip; approximate zeros must still multiply
                 if a == 0.0 {
                     continue;
                 }

@@ -86,6 +86,7 @@ impl CsrMatrix {
                     break;
                 }
             }
+            // ncs-lint: allow(float-eq) — duplicates that sum to exactly zero are dropped
             if value != 0.0 {
                 row_ptr[first.row + 1] += 1;
                 col_idx.push(first.col);
@@ -105,18 +106,29 @@ impl CsrMatrix {
     }
 
     /// Builds a CSR matrix from a dense one, dropping entries with
-    /// `|v| <= tol`.
+    /// `|v| <= tol`. Rows arrive pre-sorted, so the CSR arrays are built
+    /// directly — no triplet round-trip, no fallible index validation.
     pub fn from_dense(m: &DenseMatrix, tol: f64) -> Self {
-        let mut triplets = Vec::new();
+        let mut row_ptr = Vec::with_capacity(m.nrows() + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
         for i in 0..m.nrows() {
             for j in 0..m.ncols() {
                 if m[(i, j)].abs() > tol {
-                    triplets.push(Triplet::new(i, j, m[(i, j)]));
+                    col_idx.push(j);
+                    values.push(m[(i, j)]);
                 }
             }
+            row_ptr.push(col_idx.len());
         }
-        Self::from_triplets(m.nrows(), m.ncols(), &triplets)
-            .expect("indices from a dense matrix are always in range")
+        CsrMatrix {
+            rows: m.nrows(),
+            cols: m.ncols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -188,6 +200,22 @@ impl CsrMatrix {
         Ok((0..self.rows)
             .map(|r| self.row_entries(r).map(|(c, val)| val * v[c]).sum())
             .collect())
+    }
+
+    /// Infallible matrix–vector product into a caller-provided buffer.
+    /// Skips the allocation and the `Result` of [`CsrMatrix::matvec`] for
+    /// hot loops (e.g. one call per Lanczos iteration) where the shapes
+    /// are fixed by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `v` is shorter than `ncols()` or
+    /// `out` is shorter than `nrows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        let out = &mut out[..self.rows];
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.row_entries(r).map(|(c, val)| val * v[c]).sum();
+        }
     }
 
     /// Row sums — for a graph adjacency matrix these are the node degrees.

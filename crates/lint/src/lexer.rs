@@ -1,0 +1,710 @@
+//! A small Rust source tokenizer, just deep enough for lint rules.
+//!
+//! The lexer understands comments (line, nested block), string/char/byte
+//! literals (including raw strings), lifetimes, numbers (with `_`
+//! separators, hex/octal/binary prefixes, exponents, and type suffixes),
+//! identifiers, and punctuation. Two things make it more than a toy:
+//!
+//! 1. **Waiver harvesting** — `// ncs-lint: allow(rule-a, rule-b)`
+//!    comments are collected while lexing, so rules never see them and
+//!    the waiver table is exact about which lines they cover.
+//! 2. **Test-region marking** — tokens inside `#[cfg(test)]` / `#[test]`
+//!    items are flagged `in_test`, so rules that only police production
+//!    code can skip them without a full parse.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `as`, `fn`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff_u32`).
+    Int,
+    /// Float literal (`1.0`, `1e-4`, `2.5f32`).
+    Float,
+    /// String or byte-string literal (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation. Single characters, except `==` and `!=` which are
+    /// lexed as one token so the `float-eq` rule can match them directly.
+    Punct,
+}
+
+/// One lexed token with its source position (1-indexed line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim token text.
+    pub text: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// 1-indexed source column (in characters).
+    pub col: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// Result of lexing one file: tokens plus the per-line waiver table.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Tokens in source order, with `in_test` regions already marked.
+    pub tokens: Vec<Token>,
+    /// Waived rule names per 1-indexed line. A waiver comment covers its
+    /// own line; if the comment stands alone on a line, it also covers
+    /// the next line that carries code.
+    pub waivers: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl LexedFile {
+    /// Whether `rule` is waived on `line`.
+    pub fn is_waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers
+            .get(&line)
+            .is_some_and(|rules| rules.contains(rule))
+    }
+}
+
+/// The marker every waiver comment must contain.
+const WAIVER_MARKER: &str = "ncs-lint: allow(";
+
+/// Lexes `source` into tokens and waivers.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    // (line, rules, standalone-so-far) for each waiver comment found.
+    let mut raw_waivers: Vec<(u32, Vec<String>)> = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut i = 0usize;
+
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        if c == '\n' || c.is_whitespace() {
+            advance!();
+        } else if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            // Line comment: collect text for waiver harvesting.
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                advance!();
+            }
+            for rules in parse_waiver(&text) {
+                raw_waivers.push((tline, rules));
+            }
+        } else if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            // Block comment, possibly nested.
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < chars.len() {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    text.push(chars[i]);
+                    advance!();
+                    text.push(chars[i]);
+                    advance!();
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    depth -= 1;
+                    text.push(chars[i]);
+                    advance!();
+                    text.push(chars[i]);
+                    advance!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(chars[i]);
+                    advance!();
+                }
+            }
+            for rules in parse_waiver(&text) {
+                raw_waivers.push((tline, rules));
+            }
+        } else if c == '"' {
+            let text = lex_string(&chars, &mut i, &mut line, &mut col);
+            push(&mut tokens, TokenKind::Str, text, tline, tcol);
+        } else if (c == 'r' || c == 'b') && matches!(peek_raw_string(&chars, i), Some(_hashes)) {
+            let text = lex_raw_string(&chars, &mut i, &mut line, &mut col);
+            push(&mut tokens, TokenKind::Str, text, tline, tcol);
+        } else if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '"' {
+            advance!(); // consume the `b`
+            let mut text = lex_string(&chars, &mut i, &mut line, &mut col);
+            text.insert(0, 'b');
+            push(&mut tokens, TokenKind::Str, text, tline, tcol);
+        } else if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '\'' {
+            advance!(); // consume the `b`
+            let mut text = lex_char(&chars, &mut i, &mut line, &mut col);
+            text.insert(0, 'b');
+            push(&mut tokens, TokenKind::Char, text, tline, tcol);
+        } else if c == '\'' {
+            // Lifetime or char literal.
+            if is_lifetime_start(&chars, i) {
+                let mut text = String::from('\'');
+                advance!();
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    text.push(chars[i]);
+                    advance!();
+                }
+                push(&mut tokens, TokenKind::Lifetime, text, tline, tcol);
+            } else {
+                let text = lex_char(&chars, &mut i, &mut line, &mut col);
+                push(&mut tokens, TokenKind::Char, text, tline, tcol);
+            }
+        } else if is_ident_start(c) {
+            let mut text = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                advance!();
+            }
+            push(&mut tokens, TokenKind::Ident, text, tline, tcol);
+        } else if c.is_ascii_digit() {
+            let (text, kind) = lex_number(&chars, &mut i, &mut line, &mut col);
+            push(&mut tokens, kind, text, tline, tcol);
+        } else {
+            // Punctuation; fuse `==` and `!=`.
+            let mut text = String::from(c);
+            advance!();
+            if (c == '=' || c == '!') && i < chars.len() && chars[i] == '=' {
+                // `!=` always fuses; `==` must not eat the tail of `<==`
+                // (not valid Rust anyway) — fuse unconditionally.
+                text.push('=');
+                advance!();
+            }
+            push(&mut tokens, TokenKind::Punct, text, tline, tcol);
+        }
+    }
+
+    mark_test_regions(&mut tokens);
+
+    // Build the waiver table: a waiver covers its own line, and — when no
+    // code token shares that line — the next line that carries code.
+    let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+    let mut waivers: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for (wline, rules) in raw_waivers {
+        let target = if code_lines.contains(&wline) {
+            wline
+        } else {
+            // Standalone comment: attach to the next code line (if any).
+            match code_lines.range(wline..).next() {
+                Some(&next) => next,
+                None => wline,
+            }
+        };
+        waivers.entry(target).or_default().extend(rules);
+    }
+    LexedFile { tokens, waivers }
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, text: String, line: u32, col: u32) {
+    tokens.push(Token {
+        kind,
+        text,
+        line,
+        col,
+        in_test: false,
+    });
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether the `'` at `i` starts a lifetime (rather than a char literal).
+fn is_lifetime_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some(&c) if is_ident_start(c) => chars.get(i + 2) != Some(&'\''),
+        _ => false,
+    }
+}
+
+/// Detects `r"`, `r#...#"`, `br"`, `br#...#"` at position `i`.
+fn peek_raw_string(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn lex_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) -> String {
+    let mut text = String::new();
+    let step = |i: &mut usize, line: &mut u32, col: &mut u32| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    text.push(chars[*i]); // opening quote
+    step(i, line, col);
+    while *i < chars.len() {
+        let c = chars[*i];
+        text.push(c);
+        if c == '\\' && *i + 1 < chars.len() {
+            step(i, line, col);
+            text.push(chars[*i]);
+            step(i, line, col);
+        } else {
+            step(i, line, col);
+            if c == '"' {
+                break;
+            }
+        }
+    }
+    text
+}
+
+fn lex_raw_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) -> String {
+    let mut text = String::new();
+    let step = |i: &mut usize, line: &mut u32, col: &mut u32| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    if chars[*i] == 'b' {
+        text.push('b');
+        step(i, line, col);
+    }
+    text.push('r');
+    step(i, line, col);
+    let mut hashes = 0usize;
+    while *i < chars.len() && chars[*i] == '#' {
+        hashes += 1;
+        text.push('#');
+        step(i, line, col);
+    }
+    text.push('"');
+    step(i, line, col); // opening quote
+    while *i < chars.len() {
+        let c = chars[*i];
+        text.push(c);
+        step(i, line, col);
+        if c == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(*i + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..hashes {
+                    text.push('#');
+                    step(i, line, col);
+                }
+                break;
+            }
+        }
+    }
+    text
+}
+
+fn lex_char(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) -> String {
+    let mut text = String::new();
+    let step = |i: &mut usize, col: &mut u32| {
+        *col += 1;
+        *i += 1;
+    };
+    text.push(chars[*i]); // opening quote
+    step(i, col);
+    while *i < chars.len() {
+        let c = chars[*i];
+        text.push(c);
+        if c == '\\' && *i + 1 < chars.len() {
+            step(i, col);
+            text.push(chars[*i]);
+            step(i, col);
+        } else {
+            step(i, col);
+            if c == '\'' {
+                break;
+            }
+        }
+    }
+    let _ = line;
+    text
+}
+
+fn lex_number(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) -> (String, TokenKind) {
+    let mut text = String::new();
+    let mut kind = TokenKind::Int;
+    let step = |i: &mut usize, col: &mut u32| {
+        *col += 1;
+        *i += 1;
+    };
+    // Radix prefixes consume alphanumerics wholesale (covers `0xff_u32`).
+    if chars[*i] == '0' && matches!(chars.get(*i + 1), Some(&'x') | Some(&'o') | Some(&'b')) {
+        text.push(chars[*i]);
+        step(i, col);
+        text.push(chars[*i]);
+        step(i, col);
+        while *i < chars.len() && (chars[*i].is_ascii_alphanumeric() || chars[*i] == '_') {
+            text.push(chars[*i]);
+            step(i, col);
+        }
+        let _ = line;
+        return (text, kind);
+    }
+    while *i < chars.len() && (chars[*i].is_ascii_digit() || chars[*i] == '_') {
+        text.push(chars[*i]);
+        step(i, col);
+    }
+    // Fractional part: `.` followed by a digit (so `1..2` and `x.0.abs()`
+    // stay integers); a trailing `1.` also lexes as a float.
+    if chars.get(*i) == Some(&'.') {
+        let after = chars.get(*i + 1);
+        let is_fraction = match after {
+            Some(&c) => c.is_ascii_digit(),
+            None => true,
+        };
+        let is_method_or_range = match after {
+            Some(&c) => is_ident_start(c) || c == '.',
+            None => false,
+        };
+        if is_fraction || (!is_method_or_range && after.is_some()) {
+            kind = TokenKind::Float;
+            text.push('.');
+            step(i, col);
+            while *i < chars.len() && (chars[*i].is_ascii_digit() || chars[*i] == '_') {
+                text.push(chars[*i]);
+                step(i, col);
+            }
+        }
+    }
+    // Exponent.
+    if matches!(chars.get(*i), Some(&'e') | Some(&'E')) {
+        let mut j = *i + 1;
+        if matches!(chars.get(j), Some(&'+') | Some(&'-')) {
+            j += 1;
+        }
+        if chars.get(j).is_some_and(|c| c.is_ascii_digit()) {
+            kind = TokenKind::Float;
+            while *i < j {
+                text.push(chars[*i]);
+                step(i, col);
+            }
+            while *i < chars.len() && (chars[*i].is_ascii_digit() || chars[*i] == '_') {
+                text.push(chars[*i]);
+                step(i, col);
+            }
+        }
+    }
+    // Type suffix (`1.0f64`, `42usize`).
+    if chars.get(*i).is_some_and(|&c| is_ident_start(c)) {
+        let mut suffix = String::new();
+        let mut j = *i;
+        while j < chars.len() && is_ident_continue(chars[j]) {
+            suffix.push(chars[j]);
+            j += 1;
+        }
+        if suffix.starts_with('f') {
+            kind = TokenKind::Float;
+        }
+        while *i < j {
+            text.push(chars[*i]);
+            step(i, col);
+        }
+    }
+    (text, kind)
+}
+
+/// Parses every `ncs-lint: allow(a, b)` group out of a comment's text.
+fn parse_waiver(comment: &str) -> Vec<Vec<String>> {
+    let mut found = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(WAIVER_MARKER) {
+        rest = &rest[pos + WAIVER_MARKER.len()..];
+        if let Some(end) = rest.find(')') {
+            let rules: Vec<String> = rest[..end]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if !rules.is_empty() {
+                found.push(rules);
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    found
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` items as test code.
+///
+/// On seeing a test attribute, the scanner walks forward past any further
+/// attributes to the item's first `{` at bracket depth 0 and marks
+/// through its matching `}`. An attribute on a braceless item (e.g.
+/// `#[cfg(test)] use ...;`) stops at the terminating `;` instead.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = test_attribute_at(tokens, i) {
+            // Find the extent of the item the attribute decorates.
+            let mut j = attr_end;
+            let mut depth = 0i64;
+            let mut body_start = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            body_start = Some(j);
+                            break;
+                        }
+                        ";" if depth == 0 => {
+                            body_start = None;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let region_end = match body_start {
+                Some(open) => matching_brace(tokens, open).unwrap_or(tokens.len() - 1),
+                None => j.min(tokens.len() - 1),
+            };
+            for t in tokens.iter_mut().take(region_end + 1).skip(i) {
+                t.in_test = true;
+            }
+            i = region_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// If a `#[cfg(test)]` or `#[test]` attribute starts at `i`, returns the
+/// index one past its closing `]`.
+fn test_attribute_at(tokens: &[Token], i: usize) -> Option<usize> {
+    let tok = |k: usize| tokens.get(k);
+    let is = |k: usize, kind: TokenKind, text: &str| {
+        tok(k).is_some_and(|t| t.kind == kind && t.text == text)
+    };
+    if !is(i, TokenKind::Punct, "#") || !is(i + 1, TokenKind::Punct, "[") {
+        return None;
+    }
+    // `#[test]`
+    if is(i + 2, TokenKind::Ident, "test") && is(i + 3, TokenKind::Punct, "]") {
+        return Some(i + 4);
+    }
+    // `#[cfg(test)]`
+    if is(i + 2, TokenKind::Ident, "cfg")
+        && is(i + 3, TokenKind::Punct, "(")
+        && is(i + 4, TokenKind::Ident, "test")
+        && is(i + 5, TokenKind::Punct, ")")
+        && is(i + 6, TokenKind::Punct, "]")
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_floats_ints_and_ranges() {
+        let toks = kinds("let x = 1.0 + 2; let r = 0..10; let e = 1e-4;");
+        assert!(toks.contains(&(TokenKind::Float, "1.0".into())));
+        assert!(toks.contains(&(TokenKind::Int, "2".into())));
+        assert!(toks.contains(&(TokenKind::Int, "0".into())));
+        assert!(toks.contains(&(TokenKind::Int, "10".into())));
+        assert!(toks.contains(&(TokenKind::Float, "1e-4".into())));
+    }
+
+    #[test]
+    fn float_range_does_not_glue_dots() {
+        let toks = kinds("(0.0..1.0).contains(&x)");
+        assert!(toks.contains(&(TokenKind::Float, "0.0".into())));
+        assert!(toks.contains(&(TokenKind::Float, "1.0".into())));
+    }
+
+    #[test]
+    fn method_call_on_int_stays_int() {
+        let toks = kinds("2u32.pow(3)");
+        assert_eq!(toks[0], (TokenKind::Int, "2u32".into()));
+    }
+
+    #[test]
+    fn suffixed_float_detected() {
+        let toks = kinds("let x = 1f32;");
+        assert!(toks.contains(&(TokenKind::Float, "1f32".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_hide_violations() {
+        let toks = kinds("// x.unwrap()\n/* y.expect(\"no\") */ let s = \"z.unwrap()\";");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "expect"));
+    }
+
+    #[test]
+    fn raw_strings_lex_whole() {
+        let toks = kinds("let s = r#\"a \" b\"#; let t = 1;");
+        assert!(toks.contains(&(TokenKind::Int, "1".into())));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn equality_operators_fuse() {
+        let toks = kinds("a == b; c != d; e <= f; g = h;");
+        assert!(toks.contains(&(TokenKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "!=".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "<".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "=".into())));
+    }
+
+    #[test]
+    fn waiver_on_same_line_and_standalone() {
+        let lexed = lex(concat!(
+            "let a = x.unwrap(); // ncs-lint: allow(no-panic-paths)\n",
+            "// ncs-lint: allow(float-eq) — sentinel compare\n",
+            "if v == 0.0 {}\n",
+        ));
+        assert!(lexed.is_waived("no-panic-paths", 1));
+        assert!(lexed.is_waived("float-eq", 3));
+        assert!(!lexed.is_waived("float-eq", 1));
+    }
+
+    #[test]
+    fn waiver_list_splits_on_commas() {
+        let lexed = lex("let a = 1; // ncs-lint: allow(rule-a, rule-b)\n");
+        assert!(lexed.is_waived("rule-a", 1));
+        assert!(lexed.is_waived("rule-b", 1));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let lexed = lex(concat!(
+            "fn prod() { let x = 1; }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { x.unwrap(); }\n",
+            "}\n",
+            "fn prod2() { let y = 2; }\n",
+        ));
+        let unwrap_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "unwrap")
+            .expect("unwrap token exists");
+        assert!(unwrap_tok.in_test);
+        let prod2 = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "prod2")
+            .expect("prod2 token exists");
+        assert!(!prod2.in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_stops_at_semicolon() {
+        let lexed = lex("#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}\n");
+        let f_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "f")
+            .expect("f token exists");
+        assert!(!f_tok.in_test);
+        let hm = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "HashMap")
+            .expect("HashMap token exists");
+        assert!(hm.in_test);
+    }
+}

@@ -1,0 +1,158 @@
+//! CLI for `ncs-lint`.
+//!
+//! ```text
+//! ncs-lint --workspace              lint every crates/*/src file (crate-scoped rules)
+//! ncs-lint <path>...                lint files/dirs in strict mode (all rules)
+//!   --format text|json              diagnostic output format (default text)
+//!   --show-waived                   also print findings silenced by waivers
+//!   --list-rules                    print the rule registry and exit
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unwaivered findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ncs_lint::{
+    collect_rust_files, find_workspace_root, lint_file, lint_workspace, rules, Diagnostic,
+    FileContext,
+};
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut format = Format::Text;
+    let mut show_waived = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--show-waived" => show_waived = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("ncs-lint: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in rules::RULES {
+                    println!("{:<24} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ncs-lint [--workspace] [--format text|json] [--show-waived] \
+                     [--list-rules] [paths...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("ncs-lint: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if !workspace && paths.is_empty() {
+        eprintln!("ncs-lint: pass --workspace or at least one path (see --help)");
+        return ExitCode::from(2);
+    }
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    if workspace {
+        let cwd = match env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("ncs-lint: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("ncs-lint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
+            return ExitCode::from(2);
+        };
+        match lint_workspace(&root) {
+            Ok(ds) => diagnostics.extend(ds),
+            Err(e) => {
+                eprintln!("ncs-lint: workspace scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Explicit paths run in strict mode: every rule applies, so fixture
+    // files and one-off audits see the full registry.
+    for path in &paths {
+        let files = if path.is_dir() {
+            match collect_rust_files(path) {
+                Ok(fs) => fs,
+                Err(e) => {
+                    eprintln!("ncs-lint: cannot walk {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            vec![path.clone()]
+        };
+        for file in files {
+            let ctx = FileContext::strict(file.display().to_string());
+            match lint_file(&file, &ctx) {
+                Ok(ds) => diagnostics.extend(ds),
+                Err(e) => {
+                    eprintln!("ncs-lint: cannot read {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let total = diagnostics.len();
+    let active: Vec<&Diagnostic> = diagnostics.iter().filter(|d| !d.waived).collect();
+    let waived = total - active.len();
+
+    match format {
+        Format::Text => {
+            for d in &diagnostics {
+                if !d.waived || show_waived {
+                    println!("{d}");
+                }
+            }
+            eprintln!(
+                "ncs-lint: {} finding(s), {} waived, {} active",
+                total,
+                waived,
+                active.len()
+            );
+        }
+        Format::Json => {
+            let body: Vec<String> = diagnostics
+                .iter()
+                .filter(|d| !d.waived || show_waived)
+                .map(|d| d.to_json())
+                .collect();
+            println!("[{}]", body.join(","));
+        }
+    }
+
+    if active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

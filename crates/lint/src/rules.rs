@@ -1,0 +1,397 @@
+//! The rule registry: every invariant `ncs-lint` enforces.
+//!
+//! Each rule walks the token stream of one file (plus its
+//! [`FileContext`]) and emits [`Diagnostic`]s. Rules never see comments
+//! or string contents — the lexer already classified those — so
+//! `"unwrap"` in a doc example or a format string is never a finding.
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+use crate::{Diagnostic, FileContext};
+
+/// Crates whose non-test library code must be panic-free.
+pub const PANIC_FREE_CRATES: &[&str] =
+    &["linalg", "cluster", "net", "phys", "xbar", "tech", "core"];
+
+/// Flow-path crates where hash collections are banned (iteration order
+/// would leak into mapping/placement/routing statistics).
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["linalg", "cluster", "net", "phys", "xbar", "tech", "core"];
+
+/// Numeric-kernel crates where narrowing `as` casts need a waiver.
+pub const NUMERIC_CRATES: &[&str] = &["linalg", "cluster", "xbar", "phys", "tech"];
+
+/// Method calls that introduce panic paths.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that introduce panic paths.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Banned hash-collection type names.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Cast targets considered lossy in numeric kernels: every float/int
+/// type narrower than 64 bits. (`as f64` / `as i64` / `as usize` pass:
+/// index math and float widening are pervasive and reviewed case by
+/// case; the narrow targets are where silent precision loss hides.)
+const NARROW_TARGETS: &[&str] = &["f32", "i8", "i16", "i32", "u8", "u16", "u32"];
+
+/// Static description of one lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case name (used in waivers and diagnostics).
+    pub name: &'static str,
+    /// One-line human description.
+    pub summary: &'static str,
+}
+
+/// Every rule, in evaluation order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-panic-paths",
+        summary: "no unwrap()/expect()/panic!/todo!/unimplemented!/unreachable! in \
+                  non-test library code of the flow crates",
+    },
+    Rule {
+        name: "deterministic-iteration",
+        summary: "no HashMap/HashSet in flow-path crates; use BTreeMap/BTreeSet or \
+                  indexed Vec so iteration order is reproducible",
+    },
+    Rule {
+        name: "lossy-cast-audit",
+        summary: "casts to sub-64-bit numeric types (f32, i8..i32, u8..u32) in \
+                  numeric kernels require an explicit waiver",
+    },
+    Rule {
+        name: "crate-hygiene",
+        summary: "crate roots must carry #![forbid(unsafe_code)] and a \
+                  missing_docs lint header",
+    },
+    Rule {
+        name: "float-eq",
+        summary: "no bare ==/!= against float literals outside tests; compare \
+                  with a tolerance or waive exact sentinel checks",
+    },
+];
+
+/// Runs every applicable rule over one lexed file.
+pub fn check_file(lexed: &LexedFile, ctx: &FileContext) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    if applies_to_crate(ctx, PANIC_FREE_CRATES) && !ctx.is_bin_target && !ctx.is_test_code {
+        no_panic_paths(lexed, ctx, &mut raw);
+    }
+    if applies_to_crate(ctx, DETERMINISTIC_CRATES) && !ctx.is_test_code {
+        deterministic_iteration(lexed, ctx, &mut raw);
+    }
+    if applies_to_crate(ctx, NUMERIC_CRATES) && !ctx.is_test_code {
+        lossy_cast_audit(lexed, ctx, &mut raw);
+    }
+    if ctx.is_crate_root {
+        crate_hygiene(lexed, ctx, &mut raw);
+    }
+    if !ctx.is_test_code {
+        float_eq(lexed, ctx, &mut raw);
+    }
+    // Apply waivers last so every rule shares the same mechanism.
+    for d in &mut raw {
+        d.waived = lexed.is_waived(d.rule, d.line);
+    }
+    raw
+}
+
+/// Whether a crate-scoped rule applies to this file.
+fn applies_to_crate(ctx: &FileContext, crates: &[&str]) -> bool {
+    if ctx.strict {
+        return true;
+    }
+    match &ctx.crate_name {
+        Some(name) => crates.contains(&name.as_str()),
+        None => false,
+    }
+}
+
+fn diag(ctx: &FileContext, rule: &'static str, tok: &Token, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: ctx.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        waived: false,
+    }
+}
+
+/// `no-panic-paths`: `.unwrap()` / `.expect(` method calls and
+/// `panic!` / `todo!` / `unimplemented!` / `unreachable!` macros.
+/// Slice indexing (`[]`) gets a free pass — index invariants are local
+/// and `get`-chains everywhere would obscure the kernels.
+fn no_panic_paths(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        if PANIC_METHODS.contains(&name)
+            && i > 0
+            && is_punct(&toks[i - 1], ".")
+            && next_is_punct(toks, i + 1, "(")
+        {
+            out.push(diag(
+                ctx,
+                "no-panic-paths",
+                t,
+                format!(".{name}() can panic; return a Result (the crate has an error module) or waive a proven invariant"),
+            ));
+        } else if PANIC_MACROS.contains(&name) && next_is_punct(toks, i + 1, "!") {
+            out.push(diag(
+                ctx,
+                "no-panic-paths",
+                t,
+                format!("{name}! aborts the flow; return an error or waive a proven invariant"),
+            ));
+        }
+    }
+}
+
+/// `deterministic-iteration`: any mention of `HashMap` / `HashSet`.
+fn deterministic_iteration(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for t in &lexed.tokens {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if HASH_TYPES.contains(&t.text.as_str()) {
+            out.push(diag(
+                ctx,
+                "deterministic-iteration",
+                t,
+                format!(
+                    "{} iteration order is nondeterministic; use BTreeMap/BTreeSet or an indexed Vec",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `lossy-cast-audit`: `as <narrow numeric type>`.
+fn lossy_cast_audit(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident || t.text != "as" {
+            continue;
+        }
+        if let Some(target) = toks.get(i + 1) {
+            if target.kind == TokenKind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
+                out.push(diag(
+                    ctx,
+                    "lossy-cast-audit",
+                    target,
+                    format!(
+                        "`as {}` narrows a numeric value; prove the range and waive, or widen the type",
+                        target.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `crate-hygiene`: crate roots need `#![forbid(unsafe_code)]` plus a
+/// `missing_docs` lint header (`warn`, `deny`, or `forbid` level).
+fn crate_hygiene(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let has_forbid_unsafe = has_inner_lint_attr(lexed, &["forbid"], "unsafe_code");
+    let has_docs_lint = has_inner_lint_attr(lexed, &["warn", "deny", "forbid"], "missing_docs");
+    let anchor = Token {
+        kind: TokenKind::Punct,
+        text: String::new(),
+        line: 1,
+        col: 1,
+        in_test: false,
+    };
+    if !has_forbid_unsafe {
+        out.push(diag(
+            ctx,
+            "crate-hygiene",
+            &anchor,
+            "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        ));
+    }
+    if !has_docs_lint {
+        out.push(diag(
+            ctx,
+            "crate-hygiene",
+            &anchor,
+            "crate root is missing a missing_docs lint header (e.g. #![warn(missing_docs)])"
+                .to_string(),
+        ));
+    }
+}
+
+/// Whether the file carries `#![<level>(<lint>)]` for one of `levels`.
+fn has_inner_lint_attr(lexed: &LexedFile, levels: &[&str], lint: &str) -> bool {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if is_punct(&toks[i], "#")
+            && next_is_punct(toks, i + 1, "!")
+            && next_is_punct(toks, i + 2, "[")
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokenKind::Ident && levels.contains(&t.text.as_str()))
+            && next_is_punct(toks, i + 4, "(")
+            && toks
+                .get(i + 5)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text == lint)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `float-eq`: `==` / `!=` directly adjacent to a float literal.
+/// (A token-level heuristic: without type inference, literal adjacency
+/// is the reliable signal — it catches the `x == 0.0` sentinel pattern
+/// that dominates float comparisons in practice.)
+fn float_eq(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Punct {
+            continue;
+        }
+        if t.text != "==" && t.text != "!=" {
+            continue;
+        }
+        let prev_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+        // Allow a unary minus before the literal (`x == -1.0`).
+        let next_float = match toks.get(i + 1) {
+            Some(n) if n.kind == TokenKind::Float => true,
+            Some(n) if is_punct(n, "-") => {
+                toks.get(i + 2).is_some_and(|m| m.kind == TokenKind::Float)
+            }
+            _ => false,
+        };
+        if prev_float || next_float {
+            out.push(diag(
+                ctx,
+                "float-eq",
+                t,
+                format!(
+                    "bare `{}` on a float; compare with a tolerance, or waive an exact sentinel check",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == text
+}
+
+fn next_is_punct(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| is_punct(t, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn strict_ctx() -> FileContext {
+        FileContext {
+            path: "fixture.rs".to_string(),
+            crate_name: None,
+            is_crate_root: false,
+            is_bin_target: false,
+            is_test_code: false,
+            strict: true,
+        }
+    }
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        check_file(&lex(src), &strict_ctx())
+            .into_iter()
+            .filter(|d| !d.waived)
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_macros() {
+        let ds = findings("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }");
+        let rules: Vec<_> = ds.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, ["no-panic-paths"; 3]);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        assert!(findings("fn f() { x.unwrap_or(0); y.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn flags_hash_collections() {
+        let ds = findings("use std::collections::HashMap; fn f(s: HashSet<u8>) {}");
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.rule == "deterministic-iteration"));
+    }
+
+    #[test]
+    fn flags_narrowing_casts_only() {
+        let ds =
+            findings("fn f(x: f64) { let a = x as f32; let b = x as usize; let c = x as f64; }");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "lossy-cast-audit");
+    }
+
+    #[test]
+    fn flags_float_eq_both_sides_and_negative() {
+        let ds = findings("fn f(x: f64) -> bool { x == 0.0 || 1.5 != x || x == -1.0 }");
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| d.rule == "float-eq"));
+    }
+
+    #[test]
+    fn int_eq_is_fine() {
+        assert!(findings("fn f(x: usize) -> bool { x == 0 }").is_empty());
+    }
+
+    #[test]
+    fn waived_findings_are_marked() {
+        let src = "fn f() { x.unwrap() } // ncs-lint: allow(no-panic-paths)\n";
+        let all = check_file(&lex(src), &strict_ctx());
+        assert_eq!(all.len(), 1);
+        assert!(all[0].waived);
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); let m: HashMap<u8, u8>; } }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn hygiene_checks_crate_roots() {
+        let mut ctx = strict_ctx();
+        ctx.is_crate_root = true;
+        let clean = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}\n";
+        assert!(check_file(&lex(clean), &ctx)
+            .iter()
+            .all(|d| d.rule != "crate-hygiene"));
+        let dirty = "fn f() {}\n";
+        let ds: Vec<_> = check_file(&lex(dirty), &ctx)
+            .into_iter()
+            .filter(|d| d.rule == "crate-hygiene")
+            .collect();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn crate_scoping_gates_rules() {
+        let mut ctx = strict_ctx();
+        ctx.strict = false;
+        ctx.crate_name = Some("bench".to_string());
+        // bench is not panic-free-scoped, but float-eq still applies.
+        let ds = check_file(&lex("fn f(x: f64) { x.unwrap(); if x == 0.0 {} }"), &ctx);
+        let rules: Vec<_> = ds.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, ["float-eq"]);
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: a crate root missing both hygiene headers.
+
+pub fn noop() {}

@@ -1,0 +1,28 @@
+//! Fixture: strict-clean file; the test module below may panic freely.
+
+/// Midpoint of `a` and `b`.
+pub fn midpoint(a: f64, b: f64) -> f64 {
+    0.5 * (a + b)
+}
+
+/// Doc examples are comments to the lexer, so this `unwrap()` is fine:
+///
+/// ```
+/// let x: Option<u8> = Some(1);
+/// x.unwrap();
+/// ```
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert!(*m.get(&1).unwrap() == 2);
+        let x = 0.25_f64;
+        assert!(x == 0.25);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: narrowing casts; 64-bit casts are fine.
+
+pub fn narrow(x: f64, n: usize) -> f32 {
+    let single = x as f32;
+    let small = n as u16;
+    let wide = x as f64;
+    let index = small as usize + wide as usize;
+    single + index as f32
+}

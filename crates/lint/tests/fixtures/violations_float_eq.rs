@@ -1,0 +1,9 @@
+//! Fixture: bare float comparisons.
+
+pub fn near_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_half(x: f64) -> bool {
+    0.5 != x || x == -1.0
+}

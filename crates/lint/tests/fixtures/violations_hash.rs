@@ -1,0 +1,9 @@
+//! Fixture: banned hash collections.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn unique(values: &[u64]) -> usize {
+    let set: HashSet<u64> = values.iter().copied().collect();
+    set.len()
+}

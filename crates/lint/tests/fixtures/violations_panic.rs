@@ -1,0 +1,10 @@
+//! Fixture: every no-panic-paths trigger, one per line.
+
+fn fallible(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a > b {
+        panic!("never: a <= b by construction");
+    }
+    todo!()
+}

@@ -1,0 +1,16 @@
+//! Fixture: every violation carries a waiver, so ncs-lint must exit 0.
+
+use std::collections::HashMap; // ncs-lint: allow(deterministic-iteration)
+
+// A standalone waiver comment covers the next code line.
+// ncs-lint: allow(deterministic-iteration)
+fn lookup(table: &HashMap<u32, f64>, key: u32) -> f32 {
+    // ncs-lint: allow(no-panic-paths) — the fixture key is always present
+    let v = table.get(&key).copied().unwrap();
+    let single = v as f32; // ncs-lint: allow(lossy-cast-audit)
+    // ncs-lint: allow(float-eq) — exact zero is the disabled sentinel
+    if v == 0.0 {
+        return 0.0;
+    }
+    single
+}

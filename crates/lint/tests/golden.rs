@@ -1,0 +1,218 @@
+//! Golden-diagnostics tests for `ncs-lint`: every rule is pinned to the
+//! exact findings (file:line:col + message) it produces on the seeded
+//! fixture files, and the CLI is exercised end to end — including the
+//! workspace self-check that makes linting part of the tier-1 suite.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ncs_lint::{lint_source, FileContext};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints a fixture with a short display name so expected strings stay
+/// path-independent.
+fn rendered(fixture: &str) -> Vec<String> {
+    let source = fs::read_to_string(fixture_dir().join(fixture)).expect("fixture readable");
+    let ctx = FileContext::strict(fixture);
+    lint_source(&source, &ctx)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn golden_no_panic_paths() {
+    assert_eq!(
+        rendered("violations_panic.rs"),
+        [
+            "violations_panic.rs:4:15: [no-panic-paths] .unwrap() can panic; return a Result \
+             (the crate has an error module) or waive a proven invariant",
+            "violations_panic.rs:5:15: [no-panic-paths] .expect() can panic; return a Result \
+             (the crate has an error module) or waive a proven invariant",
+            "violations_panic.rs:7:9: [no-panic-paths] panic! aborts the flow; return an \
+             error or waive a proven invariant",
+            "violations_panic.rs:9:5: [no-panic-paths] todo! aborts the flow; return an \
+             error or waive a proven invariant",
+        ]
+    );
+}
+
+#[test]
+fn golden_deterministic_iteration() {
+    assert_eq!(
+        rendered("violations_hash.rs"),
+        [
+            "violations_hash.rs:3:23: [deterministic-iteration] HashMap iteration order is \
+             nondeterministic; use BTreeMap/BTreeSet or an indexed Vec",
+            "violations_hash.rs:4:23: [deterministic-iteration] HashSet iteration order is \
+             nondeterministic; use BTreeMap/BTreeSet or an indexed Vec",
+            "violations_hash.rs:7:14: [deterministic-iteration] HashSet iteration order is \
+             nondeterministic; use BTreeMap/BTreeSet or an indexed Vec",
+        ]
+    );
+}
+
+#[test]
+fn golden_lossy_cast_audit() {
+    // `as f64` / `as usize` on lines 6-7 must NOT appear.
+    assert_eq!(
+        rendered("violations_cast.rs"),
+        [
+            "violations_cast.rs:4:23: [lossy-cast-audit] `as f32` narrows a numeric value; \
+             prove the range and waive, or widen the type",
+            "violations_cast.rs:5:22: [lossy-cast-audit] `as u16` narrows a numeric value; \
+             prove the range and waive, or widen the type",
+            "violations_cast.rs:8:23: [lossy-cast-audit] `as f32` narrows a numeric value; \
+             prove the range and waive, or widen the type",
+        ]
+    );
+}
+
+#[test]
+fn golden_float_eq() {
+    assert_eq!(
+        rendered("violations_float_eq.rs"),
+        [
+            "violations_float_eq.rs:4:7: [float-eq] bare `==` on a float; compare with a \
+             tolerance, or waive an exact sentinel check",
+            "violations_float_eq.rs:8:9: [float-eq] bare `!=` on a float; compare with a \
+             tolerance, or waive an exact sentinel check",
+            "violations_float_eq.rs:8:19: [float-eq] bare `==` on a float; compare with a \
+             tolerance, or waive an exact sentinel check",
+        ]
+    );
+}
+
+#[test]
+fn golden_crate_hygiene() {
+    assert_eq!(
+        rendered("bad_root/src/lib.rs"),
+        [
+            "bad_root/src/lib.rs:1:1: [crate-hygiene] crate root is missing \
+             #![forbid(unsafe_code)]",
+            "bad_root/src/lib.rs:1:1: [crate-hygiene] crate root is missing a missing_docs \
+             lint header (e.g. #![warn(missing_docs)])",
+        ]
+    );
+}
+
+#[test]
+fn golden_waived_fixture_is_fully_waived() {
+    let all = rendered("waived.rs");
+    assert_eq!(all.len(), 5, "expected 5 waived findings, got: {all:#?}");
+    assert!(
+        all.iter().all(|d| d.ends_with(" (waived)")),
+        "unwaived finding in waived.rs: {all:#?}"
+    );
+}
+
+#[test]
+fn golden_clean_fixture_has_no_findings() {
+    assert_eq!(rendered("clean.rs"), [] as [&str; 0]);
+}
+
+// ---------------------------------------------------------------------
+// CLI end-to-end
+// ---------------------------------------------------------------------
+
+fn lint_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ncs-lint"))
+}
+
+#[test]
+fn cli_violation_fixtures_exit_nonzero() {
+    for fixture in [
+        "violations_panic.rs",
+        "violations_hash.rs",
+        "violations_cast.rs",
+        "violations_float_eq.rs",
+        "bad_root/src/lib.rs",
+    ] {
+        let out = lint_cmd()
+            .arg(fixture_dir().join(fixture))
+            .output()
+            .expect("ncs-lint runs");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{fixture} should exit 1; stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn cli_clean_and_waived_fixtures_exit_zero() {
+    for fixture in ["clean.rs", "waived.rs"] {
+        let out = lint_cmd()
+            .arg(fixture_dir().join(fixture))
+            .output()
+            .expect("ncs-lint runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{fixture} should exit 0; stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn cli_json_output_is_machine_readable() {
+    let out = lint_cmd()
+        .args(["--format", "json"])
+        .arg(fixture_dir().join("violations_float_eq.rs"))
+        .output()
+        .expect("ncs-lint runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim().starts_with('[') && stdout.trim().ends_with(']'));
+    assert_eq!(stdout.matches("\"rule\":\"float-eq\"").count(), 3);
+    assert_eq!(stdout.matches("\"waived\":false").count(), 3);
+}
+
+#[test]
+fn cli_show_waived_reveals_suppressed_findings() {
+    let target = fixture_dir().join("waived.rs");
+    let quiet = lint_cmd().arg(&target).output().expect("ncs-lint runs");
+    assert_eq!(String::from_utf8_lossy(&quiet.stdout).lines().count(), 0);
+    let verbose = lint_cmd()
+        .arg("--show-waived")
+        .arg(&target)
+        .output()
+        .expect("ncs-lint runs");
+    let shown = String::from_utf8_lossy(&verbose.stdout);
+    assert_eq!(shown.lines().count(), 5, "stdout: {shown}");
+    assert!(shown.lines().all(|l| l.ends_with(" (waived)")));
+}
+
+#[test]
+fn cli_usage_error_exits_two() {
+    let out = lint_cmd().output().expect("ncs-lint runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The workspace self-check: the tree this test runs in must itself be
+/// lint-clean. This is what turns `ncs-lint` into a tier-1 gate —
+/// `cargo test` fails if anyone lands an unwaivered violation.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let out = lint_cmd()
+        .arg("--workspace")
+        .current_dir(root)
+        .output()
+        .expect("ncs-lint runs");
+    assert!(
+        out.status.success(),
+        "workspace lint failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

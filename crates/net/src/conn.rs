@@ -97,8 +97,19 @@ impl ConnectionMatrix {
     pub fn connect(&mut self, from: usize, to: usize) -> Result<(), NetError> {
         self.check(from)?;
         self.check(to)?;
-        self.bits[from * self.words_per_row + to / 64] |= 1 << (to % 64);
+        self.set(from, to, true);
         Ok(())
+    }
+
+    /// Infallible bit write for indices already proven in range (panics
+    /// via slice indexing otherwise — internal use only).
+    fn set(&mut self, from: usize, to: usize, on: bool) {
+        let word = &mut self.bits[from * self.words_per_row + to / 64];
+        if on {
+            *word |= 1 << (to % 64);
+        } else {
+            *word &= !(1 << (to % 64));
+        }
     }
 
     /// Removes a connection (no-op if absent).
@@ -109,7 +120,7 @@ impl ConnectionMatrix {
     pub fn disconnect(&mut self, from: usize, to: usize) -> Result<(), NetError> {
         self.check(from)?;
         self.check(to)?;
-        self.bits[from * self.words_per_row + to / 64] &= !(1 << (to % 64));
+        self.set(from, to, false);
         Ok(())
     }
 
@@ -207,7 +218,7 @@ impl ConnectionMatrix {
         let mut out = self.clone();
         for (i, j) in self.iter() {
             // Indices come from self, so they are in range.
-            out.connect(j, i).expect("indices are in range");
+            out.set(j, i, true);
         }
         out
     }
@@ -244,7 +255,8 @@ impl ConnectionMatrix {
         let doomed: Vec<(usize, usize)> =
             self.iter().filter(|&(i, j)| mask[i] && mask[j]).collect();
         for &(i, j) in &doomed {
-            self.disconnect(i, j).expect("indices are in range");
+            // Indices come from self, so they are in range.
+            self.set(i, j, false);
         }
         doomed.len()
     }

@@ -152,8 +152,7 @@ impl HopfieldNetwork {
         pairs.sort_by(|&(ai, aj), &(bi, bj)| {
             let wa = self.weights[(ai, aj)].abs();
             let wb = self.weights[(bi, bj)].abs();
-            wb.partial_cmp(&wa)
-                .expect("hebbian weights are finite")
+            wb.total_cmp(&wa)
                 // Deterministic tie-break on index.
                 .then((ai, aj).cmp(&(bi, bj)))
         });

@@ -77,6 +77,7 @@ pub fn place_annealed(netlist: &Netlist, options: &AnnealOptions) -> Result<Plac
             return Err(PhysError::DegenerateWire { id: w.id });
         }
     }
+    // ncs-lint: allow(float-eq) — exact zero is rejected as a degenerate schedule
     if !(0.0..1.0).contains(&options.cooling) || options.cooling == 0.0 {
         return Err(PhysError::InvalidOption {
             what: "cooling",

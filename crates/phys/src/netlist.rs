@@ -157,6 +157,7 @@ impl Netlist {
             let (&neuron, &device) = match wire.pins.as_slice() {
                 [a, b] if *a < mapping.neurons() => (a, b),
                 [a, b] => (b, a),
+                // ncs-lint: allow(no-panic-paths) — from_mapping emits only 2-pin wires
                 _ => unreachable!("generator emits 2-pin wires"),
             };
             let net = &mut nets[neuron];

@@ -261,9 +261,12 @@ fn detailed_swap(netlist: &Netlist, placement: &mut Placement, passes: usize) {
         }
         w.weight * ((x1 - x0) + (y1 - y0))
     };
-    // Group swappable cells by footprint (quantized to 1e-6 um).
-    let mut groups: std::collections::HashMap<(u64, u64), Vec<usize>> =
-        std::collections::HashMap::new();
+    // Group swappable cells by footprint (quantized to 1e-6 um). A
+    // BTreeMap keeps the group visit order a pure function of the
+    // netlist — hash iteration order would leak into the swap sequence
+    // and break bit-identical placement.
+    let mut groups: std::collections::BTreeMap<(u64, u64), Vec<usize>> =
+        std::collections::BTreeMap::new();
     for cell in &netlist.cells {
         let key = (
             (cell.dims.width * 1e6) as u64,
@@ -439,8 +442,8 @@ fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -
         .fold(0.0_f64, f64::max)
         * omega;
     let bucket = max_ext.max(1.0);
-    let mut hash: std::collections::HashMap<(i64, i64), Vec<CellId>> =
-        std::collections::HashMap::new();
+    let mut hash: std::collections::BTreeMap<(i64, i64), Vec<CellId>> =
+        std::collections::BTreeMap::new();
     for cell in &netlist.cells {
         let key = (
             (xs[cell.id] / bucket).floor() as i64,
@@ -495,7 +498,7 @@ pub(crate) fn overlap_area(netlist: &Netlist, xs: &[f64], ys: &[f64]) -> f64 {
     let max_width = cells.iter().map(|c| c.dims.width).fold(0.0_f64, f64::max);
     // Sweep on x-sorted order to skip far-apart pairs.
     let mut order: Vec<usize> = (0..cells.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("coordinates are finite"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut total = 0.0;
     for (oi, &i) in order.iter().enumerate() {
         let ci = &cells[i];
@@ -630,9 +633,7 @@ fn gap_fill(
     order.sort_by(|&a, &b| {
         let aa = widths[smalls[a]] * heights[smalls[a]];
         let ab = widths[smalls[b]] * heights[smalls[b]];
-        ab.partial_cmp(&aa)
-            .expect("areas are finite")
-            .then(a.cmp(&b))
+        ab.total_cmp(&aa).then(a.cmp(&b))
     });
     for &si in &order {
         let id = smalls[si];
@@ -701,7 +702,7 @@ fn legalize_subset(
     for _ in 0..passes {
         let mut moved = false;
         let mut order: Vec<usize> = ids.to_vec();
-        order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("coordinates are finite"));
+        order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
         for (oi, &i) in order.iter().enumerate() {
             for &j in &order[oi + 1..] {
                 let dx = xs[j] - xs[i];
@@ -786,9 +787,7 @@ fn compact_axis(
 ) {
     let mut order: Vec<usize> = ids.to_vec();
     order.sort_by(|&a, &b| {
-        (primary[a] - extent_p[a] / 2.0)
-            .partial_cmp(&(primary[b] - extent_p[b] / 2.0))
-            .expect("coordinates are finite")
+        (primary[a] - extent_p[a] / 2.0).total_cmp(&(primary[b] - extent_p[b] / 2.0))
     });
     let mut placed: Vec<usize> = Vec::with_capacity(order.len());
     for &i in &order {

@@ -178,14 +178,8 @@ pub fn route(
         .collect();
     order.sort_by(|&a, &b| {
         closest[a]
-            .partial_cmp(&closest[b])
-            .expect("distances are finite")
-            .then(
-                netlist.wires[b]
-                    .weight
-                    .partial_cmp(&netlist.wires[a].weight)
-                    .expect("weights are finite"),
-            )
+            .total_cmp(&closest[b])
+            .then(netlist.wires[b].weight.total_cmp(&netlist.wires[a].weight))
             .then(a.cmp(&b))
     });
 
@@ -248,10 +242,16 @@ pub fn route(
         pending = failed;
     }
 
-    let routed: Vec<RoutedWire> = routed
-        .into_iter()
-        .map(|r| r.expect("all wires routed"))
-        .collect();
+    // The retry loop only exits once `pending` drains, so every slot is
+    // filled — but surface a routing error rather than panic if not.
+    let missing = routed.iter().filter(|r| r.is_none()).count();
+    if missing > 0 {
+        return Err(PhysError::Unroutable {
+            failed: missing,
+            relaxations,
+        });
+    }
+    let routed: Vec<RoutedWire> = routed.into_iter().flatten().collect();
     let total = routed.iter().map(|r| r.length_um).sum();
     let mut usage = vec![0usize; cols * rows];
     for r in &routed {
@@ -292,14 +292,14 @@ fn mst_segments(pins: &[CellId], placement: &Placement) -> Vec<(CellId, CellId)>
     }
     let mut segments = Vec::with_capacity(pins.len() - 1);
     for _ in 1..pins.len() {
-        let next = (0..pins.len())
+        // One pin joins the tree per round, so a non-tree pin remains on
+        // every iteration; stop early instead of panicking if not.
+        let Some(next) = (0..pins.len())
             .filter(|&i| !in_tree[i])
-            .min_by(|&a, &b| {
-                best_dist[a]
-                    .partial_cmp(&best_dist[b])
-                    .expect("distances are finite")
-            })
-            .expect("a non-tree pin remains");
+            .min_by(|&a, &b| best_dist[a].total_cmp(&best_dist[b]))
+        else {
+            break;
+        };
         in_tree[next] = true;
         segments.push((pins[best_parent[next]], pins[next]));
         for (i, &p) in pins.iter().enumerate() {
@@ -466,8 +466,7 @@ impl Ord for HeapNode {
         // Reversed for a min-heap; costs are always finite.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("finite route costs")
+            .total_cmp(&self.cost)
             .then(self.node.cmp(&other.node))
     }
 }

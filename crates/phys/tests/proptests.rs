@@ -25,7 +25,7 @@ fn random_netlist(n: usize, density: f64, size: usize, seed: u64) -> Netlist {
 
 #[test]
 fn placement_is_always_legal() {
-    let mut rng = Rng::seed_from_u64(0x70_31);
+    let mut rng = Rng::seed_from_u64(0x7031);
     for case in 0..CASES {
         let n = rng.gen_range(10usize..50);
         let density = rng.gen_range(0.02f64..0.12);
@@ -51,7 +51,7 @@ fn placement_is_always_legal() {
 
 #[test]
 fn annealed_placement_is_always_legal() {
-    let mut rng = Rng::seed_from_u64(0x70_32);
+    let mut rng = Rng::seed_from_u64(0x7032);
     for case in 0..CASES {
         let n = rng.gen_range(10usize..40);
         let seed = rng.gen_range(0u64..100);
@@ -66,7 +66,7 @@ fn annealed_placement_is_always_legal() {
 
 #[test]
 fn routing_is_complete_and_consistent() {
-    let mut rng = Rng::seed_from_u64(0x70_33);
+    let mut rng = Rng::seed_from_u64(0x7033);
     for case in 0..CASES {
         let n = rng.gen_range(10usize..40);
         let theta = rng.gen_range(2.0f64..10.0);
@@ -107,7 +107,7 @@ fn routing_is_complete_and_consistent() {
 
 #[test]
 fn detailed_swap_is_monotone() {
-    let mut rng = Rng::seed_from_u64(0x70_34);
+    let mut rng = Rng::seed_from_u64(0x7034);
     for case in 0..CASES {
         let n = rng.gen_range(10usize..40);
         let seed = rng.gen_range(0u64..100);

@@ -32,6 +32,9 @@
 //! assert_eq!(xs.iter().sum::<i32>(), 15);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::ops::{Range, RangeInclusive};
 
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;

@@ -134,6 +134,7 @@ impl CrossbarArray {
             stuck_on >= 0.0 && stuck_off >= 0.0 && stuck_on + stuck_off <= 1.0,
             "defect probabilities must be non-negative and sum to at most 1"
         );
+        // ncs-lint: allow(float-eq) — exact zeros mean the fault model is disabled
         if stuck_on == 0.0 && stuck_off == 0.0 {
             return self;
         }
@@ -172,6 +173,7 @@ impl CrossbarArray {
         let mut out = vec![0.0; self.cols];
         for (i, &input) in inputs.iter().enumerate() {
             let v = self.device.v_read * input;
+            // ncs-lint: allow(float-eq) — exact-zero drive skips a no-op accumulation
             if v == 0.0 {
                 continue;
             }
@@ -201,6 +203,7 @@ impl CrossbarArray {
                                           // several parallel arrays by node id; iterator form would obscure it.
     pub fn evaluate_ir_drop(&self, inputs: &[f64]) -> Result<Vec<f64>, XbarError> {
         self.check_inputs(inputs)?;
+        // ncs-lint: allow(float-eq) — exact zero selects the ideal (no-IR-drop) model
         if self.device.r_wire_ohm == 0.0 {
             return self.evaluate_ideal(inputs);
         }

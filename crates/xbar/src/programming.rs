@@ -63,6 +63,7 @@ pub fn program_write_verify(
     scheme: &ProgrammingScheme,
     seed: u64,
 ) -> Result<(CrossbarArray, ProgrammingReport), XbarError> {
+    // ncs-lint: allow(float-eq) — exact zero is rejected as an invalid pulse width
     if !(0.0..=1.0).contains(&scheme.pulse_fraction) || scheme.pulse_fraction == 0.0 {
         return Err(XbarError::InvalidDevice {
             what: "pulse_fraction must lie in (0, 1]",
