@@ -39,6 +39,33 @@ impl BenchResult {
     }
 }
 
+/// Serial-vs-parallel comparison for one kernel: the same closure timed
+/// with the `ncs-par` thread override pinned to 1 and to `threads`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Speedup {
+    /// Kernel name (e.g. `"matvec/600"`).
+    pub name: String,
+    /// Thread count of the parallel run (the baseline is always 1).
+    pub threads: usize,
+    /// Median wall-clock nanoseconds of the single-thread run.
+    pub serial_ns: u128,
+    /// Median wall-clock nanoseconds of the run at `threads`.
+    pub parallel_ns: u128,
+}
+
+impl Speedup {
+    /// Serial median over parallel median — above 1.0 the parallel run
+    /// won. On a single-core host this hovers at or below 1.0 no matter
+    /// how good the kernel is; interpret it together with the
+    /// `hardware_threads` field of the enclosing group.
+    pub fn factor(&self) -> f64 {
+        if self.parallel_ns == 0 {
+            return 1.0;
+        }
+        self.serial_ns as f64 / self.parallel_ns as f64
+    }
+}
+
 /// A named collection of benchmark results that serializes to one
 /// `BENCH_<group>.json` artifact.
 #[derive(Debug, Clone)]
@@ -46,7 +73,11 @@ pub struct BenchGroup {
     name: String,
     warmup: usize,
     samples: usize,
+    /// Hardware threads of the host, recorded so speedup factors can be
+    /// interpreted (a 1-core container cannot show a real speedup).
+    hardware_threads: usize,
     results: Vec<BenchResult>,
+    speedups: Vec<Speedup>,
 }
 
 impl BenchGroup {
@@ -63,7 +94,11 @@ impl BenchGroup {
             name: name.to_string(),
             warmup: 2,
             samples,
+            hardware_threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
             results: Vec::new(),
+            speedups: Vec::new(),
         }
     }
 
@@ -111,6 +146,39 @@ impl BenchGroup {
         self.results.last().expect("just pushed")
     }
 
+    /// Times `f` twice — with the `ncs-par` thread override pinned to a
+    /// single worker (the true serial code path) and then at `threads` —
+    /// records both runs as ordinary benches (`name/t1`, `name/t<n>`) and
+    /// logs a [`Speedup`] comparing the medians. The override is always
+    /// restored afterwards.
+    pub fn bench_speedup<T>(
+        &mut self,
+        name: &str,
+        threads: usize,
+        mut f: impl FnMut() -> T,
+    ) -> &Speedup {
+        ncs_par::set_thread_override(Some(1));
+        let serial_ns = self.bench(&format!("{name}/t1"), &mut f).median_ns;
+        ncs_par::set_thread_override(Some(threads));
+        let parallel_ns = self.bench(&format!("{name}/t{threads}"), &mut f).median_ns;
+        ncs_par::set_thread_override(None);
+        let s = Speedup {
+            name: name.to_string(),
+            threads,
+            serial_ns,
+            parallel_ns,
+        };
+        println!(
+            "  {}/{name}: {:.2}x at {} threads ({} hardware)",
+            self.name,
+            s.factor(),
+            threads,
+            self.hardware_threads
+        );
+        self.speedups.push(s);
+        self.speedups.last().expect("just pushed")
+    }
+
     /// Group name.
     pub fn name(&self) -> &str {
         &self.name
@@ -121,25 +189,44 @@ impl BenchGroup {
         &self.results
     }
 
+    /// Speedup comparisons recorded so far.
+    pub fn speedups(&self) -> &[Speedup] {
+        &self.speedups
+    }
+
+    /// Hardware threads detected on this host.
+    pub fn hardware_threads(&self) -> usize {
+        self.hardware_threads
+    }
+
     /// Serializes the group to the `BENCH_*.json` schema:
     ///
     /// ```json
     /// {
     ///   "group": "clustering",
     ///   "warmup": 2,
+    ///   "hardware_threads": 4,
     ///   "benches": [
     ///     {"name": "msc/100", "samples": 10,
     ///      "median_ns": 1000, "min_ns": 900, "mean_ns": 1100}
+    ///   ],
+    ///   "speedups": [
+    ///     {"name": "matvec/600", "threads": 4,
+    ///      "serial_ns": 1000, "parallel_ns": 400, "speedup": 2.5}
     ///   ]
     /// }
     /// ```
+    ///
+    /// The `speedups` array is present only when
+    /// [`BenchGroup::bench_speedup`] was used.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\n  \"group\": {},\n  \"warmup\": {},\n  \"benches\": [",
+            "{{\n  \"group\": {},\n  \"warmup\": {},\n  \"hardware_threads\": {},\n  \"benches\": [",
             json_string(&self.name),
-            self.warmup
+            self.warmup,
+            self.hardware_threads
         );
         for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
@@ -155,7 +242,26 @@ impl BenchGroup {
                 r.mean_ns
             );
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ]");
+        if !self.speedups.is_empty() {
+            out.push_str(",\n  \"speedups\": [");
+            for (i, s) in self.speedups.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n    {{\"name\": {}, \"threads\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}}}",
+                    json_string(&s.name),
+                    s.threads,
+                    s.serial_ns,
+                    s.parallel_ns,
+                    s.factor()
+                );
+            }
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -242,5 +348,48 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_samples_rejected() {
         let _ = BenchGroup::new("bad").samples(0);
+    }
+
+    #[test]
+    fn bench_speedup_records_both_runs_and_a_factor() {
+        let mut group = BenchGroup::new("speedup_selftest").samples(3);
+        let s = group
+            .bench_speedup("spin", 4, || {
+                let mut acc = 0u64;
+                for i in 0..10_000u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                acc
+            })
+            .clone();
+        assert_eq!(s.threads, 4);
+        assert!(s.factor() > 0.0);
+        // Both underlying runs landed in the ordinary results list.
+        let names: Vec<&str> = group.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["spin/t1", "spin/t4"]);
+        // The override was restored.
+        assert_eq!(ncs_par::thread_override(), None);
+        let json = group.to_json();
+        assert!(json.contains("\"hardware_threads\""), "{json}");
+        assert!(json.contains("\"speedups\": ["), "{json}");
+        assert!(json.contains("\"serial_ns\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn speedup_factor_handles_degenerate_timings() {
+        let s = Speedup {
+            name: "zero".into(),
+            threads: 4,
+            serial_ns: 100,
+            parallel_ns: 0,
+        };
+        assert!((s.factor() - 1.0).abs() < f64::EPSILON);
+        let s2 = Speedup {
+            parallel_ns: 50,
+            ..s
+        };
+        assert!((s2.factor() - 2.0).abs() < 1e-12);
     }
 }

@@ -37,13 +37,41 @@ pub fn spectral_embedding(net: &ConnectionMatrix) -> Result<GeneralizedEigen, Cl
     let n = sym.neurons();
     let degrees = sym.degrees();
     let mut laplacian = DenseMatrix::zeros(n, n);
-    for i in 0..n {
-        laplacian[(i, i)] = degrees[i];
-    }
-    for (i, j) in sym.iter() {
-        laplacian[(i, j)] -= 1.0;
+    // Each Laplacian row depends only on (sym, degrees), so row chunks
+    // fan out across the ncs-par team; the entries are identical at any
+    // thread count.
+    if n >= LAPLACIAN_MIN_N && ncs_par::threads() > 1 {
+        ncs_par::par_chunks_mut(
+            laplacian.as_mut_slice(),
+            LAPLACIAN_ROW_GRAIN * n,
+            |start, c| {
+                laplacian_rows(&sym, &degrees, start / n, c);
+            },
+        );
+    } else {
+        laplacian_rows(&sym, &degrees, 0, laplacian.as_mut_slice());
     }
     Ok(GeneralizedEigen::new(&laplacian, &degrees)?)
+}
+
+/// Rows per parallel Laplacian-build chunk.
+const LAPLACIAN_ROW_GRAIN: usize = 32;
+
+/// Minimum network size before the Laplacian build fans out.
+const LAPLACIAN_MIN_N: usize = 64;
+
+/// Fills Laplacian rows `row0..` (`out` is a run of complete rows of
+/// width `n`): diagonal = degree, minus one per neighbour — including a
+/// self-loop hitting the diagonal, exactly like the serial triplet walk.
+fn laplacian_rows(sym: &ConnectionMatrix, degrees: &[f64], row0: usize, out: &mut [f64]) {
+    let n = sym.neurons();
+    for (ri, row) in out.chunks_mut(n).enumerate() {
+        let i = row0 + ri;
+        row[i] = degrees[i];
+        for j in sym.row_neighbors(i) {
+            row[j] -= 1.0;
+        }
+    }
 }
 
 /// **Modified Spectral Clustering** (Algorithm 1).

@@ -1,4 +1,5 @@
 use crate::{DenseMatrix, LinalgError};
+use ncs_par::SharedF64Buf;
 
 /// Full eigendecomposition of a real symmetric matrix.
 ///
@@ -237,91 +238,325 @@ impl GeneralizedEigen {
     }
 }
 
+/// Rows per ownership/fold chunk in the `tred2` team. The chunk grid is
+/// part of the numeric contract: the accumulation-phase dot products are
+/// folded per chunk in ascending chunk order, so this constant (never
+/// the thread count) determines the rounding of the result.
+const TRED2_GRAIN: usize = 32;
+
+/// Below this order the eigensolver teams stay at one worker: spawn and
+/// barrier overhead would swamp the O(n³) work.
+const TEAM_MIN_N: usize = 128;
+
+/// Worker cap for the eigensolver teams: 1 below [`TEAM_MIN_N`]
+/// (the body then runs inline on the calling thread), otherwise
+/// whatever [`ncs_par::threads`] resolves to.
+fn team_workers(n: usize) -> usize {
+    if n >= TEAM_MIN_N {
+        ncs_par::MAX_THREADS
+    } else {
+        1
+    }
+}
+
 /// Householder reduction of a symmetric matrix (stored in `z`) to
 /// tridiagonal form; `d` receives the diagonal, `e` the subdiagonal
 /// (`e[0]` unused), and `z` is overwritten with the accumulated orthogonal
 /// transformation.
+///
+/// Runs as an SPMD team over row blocks of `z` ([`tred2_body`]): with one
+/// worker the body executes inline on the calling thread, so the serial
+/// and parallel paths are literally the same code and the output is
+/// bit-identical at any thread count.
 fn tred2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) {
     let n = d.len();
+    if n == 0 {
+        return;
+    }
+    let u_buf = SharedF64Buf::new(n);
+    let e_buf = SharedF64Buf::new(n);
+    let d_buf = SharedF64Buf::new(n);
+    let chunks = ncs_par::chunk_count(n, TRED2_GRAIN);
+    let partials = SharedF64Buf::new(chunks * n);
+    ncs_par::team_split_mut(
+        z.as_mut_slice(),
+        n,
+        TRED2_GRAIN,
+        team_workers(n),
+        |ctx, rows| tred2_body(&ctx, rows, n, &u_buf, &e_buf, &d_buf, &partials),
+    );
+    for i in 0..n {
+        d[i] = d_buf.get(i);
+        e[i] = e_buf.get(i);
+    }
+}
+
+/// One `tred2` worker: owns the contiguous row block `rows` (global rows
+/// `ctx.range()`), synchronising through the shared exchange buffers.
+///
+/// The classic EISPACK sweep updates only the lower triangle; here every
+/// rank-2 update is applied to the **full** active block, which keeps the
+/// block bit-exactly symmetric (IEEE `+`/`*` are commutative), so the
+/// first reduction pass can read each row as a plain own-row dot product
+/// instead of walking a column owned by other workers. Column `i` of the
+/// transform (written at iteration `i`) lies outside every later active
+/// block, so the accumulated transform is unaffected. Scalar recurrences
+/// (`scale`, `h`, the `e`-fold) are replayed redundantly by every worker
+/// from identical bits, which keeps the barrier count at two per
+/// iteration.
+#[allow(clippy::too_many_arguments)]
+fn tred2_body(
+    ctx: &ncs_par::TeamCtx<'_>,
+    rows: &mut [f64],
+    n: usize,
+    u_buf: &SharedF64Buf,
+    e_buf: &SharedF64Buf,
+    d_buf: &SharedF64Buf,
+    partials: &SharedF64Buf,
+) {
+    let first = ctx.first_item;
+    let own_end = first + ctx.items;
+    let mut u = vec![0.0; n];
+    let mut e_loc = vec![0.0; n];
+    // --- Reduction sweep (i descending) ---
     for i in (1..n).rev() {
         let l = i - 1;
+        if ctx.owns(i) {
+            let row_i = &rows[(i - first) * n..(i - first) * n + n];
+            for (k, &v) in row_i.iter().enumerate().take(l + 1) {
+                u_buf.set(k, v);
+            }
+        }
+        ctx.sync();
+        for (k, slot) in u.iter_mut().enumerate().take(l + 1) {
+            *slot = u_buf.get(k);
+        }
         let mut h = 0.0;
+        let mut synced = false;
         if l > 0 {
-            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            let scale: f64 = u[..=l].iter().map(|x| x.abs()).sum();
             // ncs-lint: allow(float-eq) — exact zero means the row is structurally empty (Householder skip)
             if scale == 0.0 {
-                e[i] = z[(i, l)];
-            } else {
-                for k in 0..=l {
-                    z[(i, k)] /= scale;
-                    h += z[(i, k)] * z[(i, k)];
+                if ctx.owns(i) {
+                    e_buf.set(i, u[l]);
                 }
-                let f = z[(i, l)];
+            } else {
+                for x in u.iter_mut().take(l + 1) {
+                    *x /= scale;
+                    h += *x * *x;
+                }
+                let f = u[l];
                 let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
-                e[i] = scale * g;
+                if ctx.owns(i) {
+                    e_buf.set(i, scale * g);
+                }
                 h -= f * g;
-                z[(i, l)] = f - g;
+                u[l] = f - g;
+                if ctx.owns(i) {
+                    let row_i = &mut rows[(i - first) * n..(i - first) * n + n];
+                    row_i[..=l].copy_from_slice(&u[..=l]);
+                }
+                // First pass over own rows: column-i store plus the
+                // `A·u` dot (an own-row dot thanks to block symmetry).
+                let j_hi = (l + 1).min(own_end);
+                for j in first..j_hi {
+                    let row_j = &mut rows[(j - first) * n..(j - first) * n + n];
+                    let mut g_acc = 0.0;
+                    for k in 0..=l {
+                        g_acc += row_j[k] * u[k];
+                    }
+                    e_buf.set(j, g_acc / h);
+                    row_j[i] = u[j] / h;
+                }
+                ctx.sync();
+                synced = true;
+                for (j, slot) in e_loc.iter_mut().enumerate().take(l + 1) {
+                    *slot = e_buf.get(j);
+                }
                 let mut f_acc = 0.0;
                 for j in 0..=l {
-                    z[(j, i)] = z[(i, j)] / h;
-                    let mut g_acc = 0.0;
-                    for k in 0..=j {
-                        g_acc += z[(j, k)] * z[(i, k)];
-                    }
-                    for k in (j + 1)..=l {
-                        g_acc += z[(k, j)] * z[(i, k)];
-                    }
-                    e[j] = g_acc / h;
-                    f_acc += e[j] * z[(i, j)];
+                    f_acc += e_loc[j] * u[j];
                 }
                 let hh = f_acc / (h + h);
                 for j in 0..=l {
-                    let f = z[(i, j)];
-                    let g = e[j] - hh * f;
-                    e[j] = g;
-                    for k in 0..=j {
-                        let delta = f * e[k] + g * z[(i, k)];
-                        z[(j, k)] -= delta;
+                    e_loc[j] -= hh * u[j];
+                }
+                // Full-width symmetric rank-2 update of own rows.
+                for j in first..j_hi {
+                    let row_j = &mut rows[(j - first) * n..(j - first) * n + n];
+                    let (uj, ej) = (u[j], e_loc[j]);
+                    for k in 0..=l {
+                        row_j[k] -= uj * e_loc[k] + ej * u[k];
                     }
                 }
             }
-        } else {
-            e[i] = z[(i, l)];
+        } else if ctx.owns(i) {
+            e_buf.set(i, u[0]);
         }
-        d[i] = h;
+        if ctx.owns(i) {
+            d_buf.set(i, h);
+        }
+        if !synced {
+            // Keep the per-iteration barrier count uniform so the next
+            // iteration's row publish cannot race this one's readers.
+            ctx.sync();
+        }
     }
-    d[0] = 0.0;
-    e[0] = 0.0;
+    if ctx.worker == 0 {
+        d_buf.set(0, 0.0);
+        e_buf.set(0, 0.0);
+    }
+    ctx.sync();
+    // --- Accumulation of the orthogonal transform (i ascending) ---
+    // Snapshot the Householder norms: the guard below must read the
+    // reduction-phase values even after this loop starts overwriting
+    // d_buf with the final diagonal.
+    let d_final: Vec<f64> = (0..n).map(|i| d_buf.get(i)).collect();
+    // Everyone must finish snapshotting before any worker's tail below
+    // starts overwriting d_buf, or a slow worker reads a corrupted guard
+    // and the per-iteration barrier counts diverge (deadlock).
+    ctx.sync();
+    let chunks = ncs_par::chunk_count(n, TRED2_GRAIN);
+    let first_chunk = first / TRED2_GRAIN;
+    let own_chunk_end = first_chunk + ncs_par::chunk_count(ctx.items, TRED2_GRAIN);
+    let mut g = vec![0.0; n];
+    let mut scratch = vec![0.0; n];
     for i in 0..n {
         // ncs-lint: allow(float-eq) — exact zero marks an untouched transform column
-        if d[i] != 0.0 {
-            for j in 0..i {
-                let mut g = 0.0;
-                for k in 0..i {
-                    g += z[(i, k)] * z[(k, j)];
+        if d_final[i] != 0.0 {
+            if ctx.owns(i) {
+                let row_i = &rows[(i - first) * n..(i - first) * n + n];
+                for (k, &v) in row_i.iter().enumerate().take(i) {
+                    u_buf.set(k, v);
                 }
-                for k in 0..i {
-                    let delta = g * z[(k, i)];
-                    z[(k, j)] -= delta;
+            }
+            ctx.sync();
+            for (k, slot) in u.iter_mut().enumerate().take(i) {
+                *slot = u_buf.get(k);
+            }
+            // Per-chunk partials of g[j] = Σ_k z[i][k]·z[k][j]; each
+            // chunk has exactly one owner (worker splits are
+            // grain-aligned), and the fold below runs in ascending
+            // chunk order on every worker — bit-identical at any team
+            // size because the chunk grid depends only on n.
+            for c in first_chunk..own_chunk_end {
+                let k_lo = c * TRED2_GRAIN;
+                if k_lo >= i {
+                    break;
+                }
+                let k_hi = ((c + 1) * TRED2_GRAIN).min(i);
+                scratch[..i].fill(0.0);
+                for k in k_lo..k_hi {
+                    let uk = u[k];
+                    let row_k = &rows[(k - first) * n..(k - first) * n + n];
+                    for j in 0..i {
+                        scratch[j] += row_k[j] * uk;
+                    }
+                }
+                for (j, &s) in scratch.iter().enumerate().take(i) {
+                    partials.set(c * n + j, s);
+                }
+            }
+            ctx.sync();
+            g[..i].fill(0.0);
+            for c in 0..chunks {
+                if c * TRED2_GRAIN >= i {
+                    break;
+                }
+                for (j, slot) in g.iter_mut().enumerate().take(i) {
+                    *slot += partials.get(c * n + j);
+                }
+            }
+            let k_hi = i.min(own_end);
+            for k in first..k_hi {
+                let row_k = &mut rows[(k - first) * n..(k - first) * n + n];
+                let zki = row_k[i];
+                for j in 0..i {
+                    row_k[j] -= g[j] * zki;
                 }
             }
         }
-        d[i] = z[(i, i)];
-        z[(i, i)] = 1.0;
-        for j in 0..i {
-            z[(j, i)] = 0.0;
-            z[(i, j)] = 0.0;
+        if ctx.owns(i) {
+            let base = (i - first) * n;
+            d_buf.set(i, rows[base + i]);
+            rows[base + i] = 1.0;
+            for j in 0..i {
+                rows[base + j] = 0.0;
+            }
+        }
+        let k_hi = i.min(own_end);
+        for k in first..k_hi {
+            rows[(k - first) * n + i] = 0.0;
         }
     }
 }
 
 /// Implicit-shift QL iteration on a tridiagonal matrix `(d, e)` with
 /// eigenvector accumulation into `z`.
+///
+/// Parallel strategy: every team worker replays the identical scalar
+/// recurrence on a private copy of `(d, e)` (same bits, same branches —
+/// including the underflow deflation path) and applies each Givens
+/// rotation inline to its own row block, so no barriers are needed and
+/// the per-element arithmetic matches the serial path exactly.
 pub(crate) fn tql2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
     let n = d.len();
     if n == 1 {
         return Ok(());
     }
+    if ncs_par::threads() > 1 && n >= TEAM_MIN_N {
+        let d0 = d.to_vec();
+        let e0 = e.to_vec();
+        let mut results = ncs_par::team_split_mut(
+            z.as_mut_slice(),
+            n,
+            1,
+            ncs_par::MAX_THREADS,
+            |_ctx, rows| {
+                let mut dw = d0.clone();
+                let mut ew = e0.clone();
+                tql2_kernel(&mut dw, &mut ew, |i, s, c| {
+                    for row in rows.chunks_mut(n) {
+                        let f = row[i + 1];
+                        row[i + 1] = s * row[i] + c * f;
+                        row[i] = c * row[i] - s * f;
+                    }
+                })
+                .map(|()| (dw, ew))
+            },
+        );
+        // Every worker ran the same recurrence on the same input bits;
+        // take worker 0's copy (a team always has at least one worker).
+        match results.swap_remove(0) {
+            Ok((dw, ew)) => {
+                d.copy_from_slice(&dw);
+                e.copy_from_slice(&ew);
+                Ok(())
+            }
+            Err(err) => Err(err),
+        }
+    } else {
+        let cols = z.ncols();
+        tql2_kernel(d, e, |i, s, c| {
+            for row in z.as_mut_slice().chunks_mut(cols) {
+                let f = row[i + 1];
+                row[i + 1] = s * row[i] + c * f;
+                row[i] = c * row[i] - s * f;
+            }
+        })
+    }
+}
+
+/// The scalar QL recurrence, shared verbatim by the serial path and by
+/// every team worker; `rotate(i, s, c)` must apply the Givens rotation
+/// to columns `(i, i + 1)` of whichever eigenvector rows the caller
+/// owns.
+fn tql2_kernel(
+    d: &mut [f64],
+    e: &mut [f64],
+    mut rotate: impl FnMut(usize, f64, f64),
+) -> Result<(), LinalgError> {
+    let n = d.len();
     for i in 1..n {
         e[i - 1] = e[i];
     }
@@ -357,7 +592,7 @@ pub(crate) fn tql2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<
             let mut p = 0.0;
             let mut underflow = false;
             for i in (l..m).rev() {
-                let mut f = s * e[i];
+                let f = s * e[i];
                 let b = c * e[i];
                 r = f.hypot(g);
                 e[i + 1] = r;
@@ -376,11 +611,7 @@ pub(crate) fn tql2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<
                 p = s * r;
                 d[i + 1] = g + p;
                 g = c * r - b;
-                for k in 0..n {
-                    f = z[(k, i + 1)];
-                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
-                    z[(k, i)] = c * z[(k, i)] - s * f;
-                }
+                rotate(i, s, c);
             }
             if underflow {
                 continue;
@@ -517,6 +748,63 @@ mod tests {
         let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
         let sum: f64 = eig.eigenvalues().iter().sum();
         assert!((trace - sum).abs() < 1e-8);
+    }
+
+    /// Deterministic pseudo-random symmetric matrix, large enough to
+    /// engage the parallel team (n >= TEAM_MIN_N).
+    fn random_symmetric(n: usize) -> DenseMatrix {
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut state = 0x2545f4914f6cdd1d_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn decomposition_is_bit_identical_across_thread_counts() {
+        // The determinism contract of the parallel kernels: the exact
+        // same bits at NCS_THREADS=1 and NCS_THREADS=4. n=160 exceeds
+        // TEAM_MIN_N so the team path genuinely runs multi-worker.
+        let a = random_symmetric(160);
+        let run_at = |t: usize| {
+            ncs_par::set_thread_override(Some(t));
+            let eig = SymmetricEigen::new(&a);
+            ncs_par::set_thread_override(None);
+            eig.unwrap()
+        };
+        let base = run_at(1);
+        for t in [2, 4] {
+            let other = run_at(t);
+            let value_bits = |e: &SymmetricEigen| -> Vec<u64> {
+                e.eigenvalues().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                value_bits(&base),
+                value_bits(&other),
+                "eigenvalues at t={t}"
+            );
+            let vec_bits = |e: &SymmetricEigen| -> Vec<u64> {
+                e.eigenvectors()
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            };
+            assert_eq!(vec_bits(&base), vec_bits(&other), "eigenvectors at t={t}");
+        }
+        // And the parallel result is still a correct decomposition.
+        assert!(residual(&a, &base) < 1e-8);
     }
 
     #[test]

@@ -125,7 +125,9 @@ where
             let beta_prev = *betas.last().unwrap_or(&0.0);
             axpy(-beta_prev, prev, &mut w);
         }
-        basis.push(v.clone());
+        // Move `v` into the basis instead of cloning: the storage the
+        // basis keeps anyway is the only per-iteration allocation left.
+        basis.push(std::mem::take(&mut v));
         alphas.push(alpha);
         // ...then full reorthogonalization (twice) for numerical hygiene.
         for _ in 0..2 {

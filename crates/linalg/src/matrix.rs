@@ -156,6 +156,13 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Mutable view of the underlying row-major storage (rows are
+    /// contiguous runs of `ncols()` elements) — the entry point for
+    /// row-partitioned parallel kernels.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix and returns the row-major storage.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -174,6 +181,11 @@ impl DenseMatrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Output rows are computed independently (row-parallel over
+    /// [`ncs_par`] above [`MATMUL_MIN_WORK`] flops), with arithmetic per
+    /// row identical to the serial loop — the result is bit-identical at
+    /// any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if inner dimensions differ.
@@ -185,19 +197,16 @@ impl DenseMatrix {
             });
         }
         let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                // ncs-lint: allow(float-eq) — exact-zero sparsity skip; approximate zeros must still multiply
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
-                }
-            }
+        let ocols = rhs.cols;
+        let work = self.rows * self.cols * ocols;
+        if work >= MATMUL_MIN_WORK && ocols > 0 && ncs_par::threads() > 1 {
+            // Grain is a whole number of output rows, so every chunk is
+            // a run of complete rows and `start / ocols` is exact.
+            ncs_par::par_chunks_mut(out.as_mut_slice(), MATMUL_ROW_GRAIN * ocols, |start, c| {
+                matmul_rows(self, rhs, start / ocols, c);
+            });
+        } else {
+            matmul_rows(self, rhs, 0, out.as_mut_slice());
         }
         Ok(out)
     }
@@ -242,6 +251,35 @@ impl DenseMatrix {
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Minimum `rows * inner * cols` flop count before `matmul` fans out to
+/// the [`ncs_par`] thread team; below this, spawn overhead dominates.
+const MATMUL_MIN_WORK: usize = 32 * 1024;
+
+/// Output rows per parallel `matmul` chunk.
+const MATMUL_ROW_GRAIN: usize = 8;
+
+/// Computes output rows `row0..` of `a * rhs` into `out_rows` (a run of
+/// complete rows). Shared by the serial and parallel paths of
+/// [`DenseMatrix::matmul`] so their per-row arithmetic is literally the
+/// same code.
+fn matmul_rows(a: &DenseMatrix, rhs: &DenseMatrix, row0: usize, out_rows: &mut [f64]) {
+    let ocols = rhs.cols;
+    for (ri, orow) in out_rows.chunks_mut(ocols).enumerate() {
+        let i = row0 + ri;
+        for k in 0..a.cols {
+            let v = a[(i, k)];
+            // ncs-lint: allow(float-eq) — exact-zero sparsity skip; approximate zeros must still multiply
+            if v == 0.0 {
+                continue;
+            }
+            let rrow = rhs.row(k);
+            for (o, &b) in orow.iter_mut().zip(rrow) {
+                *o += v * b;
+            }
+        }
     }
 }
 
@@ -346,6 +384,43 @@ mod tests {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::zeros(2, 3);
         assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_across_thread_counts() {
+        // 48^3 flops exceeds MATMUL_MIN_WORK, so the team path engages.
+        let n = 48;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut b = DenseMatrix::zeros(n, n);
+        let mut state = 0x9e3779b97f4a7c15_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+                b[(i, j)] = next();
+            }
+        }
+        let at = |t: usize| {
+            ncs_par::set_thread_override(Some(t));
+            let c = a.matmul(&b).unwrap();
+            ncs_par::set_thread_override(None);
+            c
+        };
+        let base = at(1);
+        for t in [2, 4] {
+            let c = at(t);
+            let same = base
+                .as_slice()
+                .iter()
+                .zip(c.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "matmul bits differ at t={t}");
+        }
     }
 
     #[test]

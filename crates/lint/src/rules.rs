@@ -29,6 +29,9 @@ const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"]
 /// Banned hash-collection type names.
 const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
 
+/// Thread-spawning entry points banned outside `crates/par`.
+const THREAD_ENTRY_POINTS: &[&str] = &["spawn", "scope", "Builder"];
+
 /// Cast targets considered lossy in numeric kernels: every float/int
 /// type narrower than 64 bits. (`as f64` / `as i64` / `as usize` pass:
 /// index math and float widening are pervasive and reviewed case by
@@ -71,6 +74,11 @@ pub const RULES: &[Rule] = &[
         summary: "no bare ==/!= against float literals outside tests; compare \
                   with a tolerance or waive exact sentinel checks",
     },
+    Rule {
+        name: "no-adhoc-threads",
+        summary: "thread::spawn/scope/Builder only inside ncs-par; everywhere \
+                  else use the deterministic par_* primitives",
+    },
 ];
 
 /// Runs every applicable rule over one lexed file.
@@ -90,6 +98,9 @@ pub fn check_file(lexed: &LexedFile, ctx: &FileContext) -> Vec<Diagnostic> {
     }
     if !ctx.is_test_code {
         float_eq(lexed, ctx, &mut raw);
+    }
+    if ctx.crate_name.as_deref() != Some("par") && !ctx.is_test_code {
+        no_adhoc_threads(lexed, ctx, &mut raw);
     }
     // Apply waivers last so every rule shares the same mechanism.
     for d in &mut raw {
@@ -284,6 +295,37 @@ fn float_eq(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `no-adhoc-threads`: `thread::spawn` / `thread::scope` /
+/// `thread::Builder` outside the `par` crate. Ad-hoc threads bypass the
+/// fixed-chunk, ordered-reduction contract that keeps every kernel
+/// bit-identical across `NCS_THREADS` settings — all parallelism must go
+/// through the `ncs_par` primitives. (`::` lexes as two `:` puncts.)
+fn no_adhoc_threads(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident || t.text != "thread" {
+            continue;
+        }
+        if !(next_is_punct(toks, i + 1, ":") && next_is_punct(toks, i + 2, ":")) {
+            continue;
+        }
+        if let Some(entry) = toks.get(i + 3) {
+            if entry.kind == TokenKind::Ident && THREAD_ENTRY_POINTS.contains(&entry.text.as_str())
+            {
+                out.push(diag(
+                    ctx,
+                    "no-adhoc-threads",
+                    entry,
+                    format!(
+                        "thread::{} outside ncs-par bypasses the deterministic chunking contract; use the ncs_par primitives",
+                        entry.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 fn is_punct(t: &Token, text: &str) -> bool {
     t.kind == TokenKind::Punct && t.text == text
 }
@@ -382,6 +424,29 @@ mod tests {
             .filter(|d| d.rule == "crate-hygiene")
             .collect();
         assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn flags_adhoc_threads() {
+        let ds = findings(
+            "fn f() { std::thread::spawn(|| {}); thread::scope(|_s| {}); \
+             let b = thread::Builder::new(); }",
+        );
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| d.rule == "no-adhoc-threads"));
+    }
+
+    #[test]
+    fn benign_thread_members_pass() {
+        assert!(findings("fn f() { thread::yield_now(); let t = thread::current(); }").is_empty());
+    }
+
+    #[test]
+    fn par_crate_may_spawn_threads() {
+        let mut ctx = strict_ctx();
+        ctx.crate_name = Some("par".to_string());
+        let ds = check_file(&lex("fn f() { thread::spawn(|| {}); }"), &ctx);
+        assert!(ds.iter().all(|d| d.rule != "no-adhoc-threads"));
     }
 
     #[test]

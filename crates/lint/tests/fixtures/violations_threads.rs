@@ -1,0 +1,16 @@
+//! Fixture: ad-hoc threading outside ncs-par.
+
+use std::thread;
+
+fn fan_out(jobs: Vec<u64>) -> u64 {
+    let handle = thread::spawn(move || jobs.iter().sum::<u64>());
+    let builder = std::thread::Builder::new();
+    let _ = builder;
+    thread::scope(|_s| {});
+    handle.join().unwrap_or(0)
+}
+
+fn harmless() {
+    thread::yield_now();
+    let _ = thread::current();
+}

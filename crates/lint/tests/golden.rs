@@ -88,6 +88,21 @@ fn golden_float_eq() {
 }
 
 #[test]
+fn golden_no_adhoc_threads() {
+    assert_eq!(
+        rendered("violations_threads.rs"),
+        [
+            "violations_threads.rs:6:26: [no-adhoc-threads] thread::spawn outside ncs-par \
+             bypasses the deterministic chunking contract; use the ncs_par primitives",
+            "violations_threads.rs:7:32: [no-adhoc-threads] thread::Builder outside ncs-par \
+             bypasses the deterministic chunking contract; use the ncs_par primitives",
+            "violations_threads.rs:9:13: [no-adhoc-threads] thread::scope outside ncs-par \
+             bypasses the deterministic chunking contract; use the ncs_par primitives",
+        ]
+    );
+}
+
+#[test]
 fn golden_crate_hygiene() {
     assert_eq!(
         rendered("bad_root/src/lib.rs"),
@@ -130,6 +145,7 @@ fn cli_violation_fixtures_exit_nonzero() {
         "violations_hash.rs",
         "violations_cast.rs",
         "violations_float_eq.rs",
+        "violations_threads.rs",
         "bad_root/src/lib.rs",
     ] {
         let out = lint_cmd()

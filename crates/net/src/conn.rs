@@ -169,6 +169,18 @@ impl ConnectionMatrix {
         })
     }
 
+    /// Iterator over the neighbours recorded in row `row` of the bitmap
+    /// (a bit-scan, so cost is proportional to the set bits). On a
+    /// [`symmetrized`](Self::symmetrized) matrix this is the undirected
+    /// neighbour list that row-parallel Laplacian builders consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_neighbors(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        self.fanout_of(row)
+    }
+
     /// Number of fan-outs (out-degree) of a neuron.
     ///
     /// # Panics
@@ -412,6 +424,14 @@ mod tests {
         assert_eq!(m.fanin(1), 2);
         assert_eq!(m.fanin_fanout(0), 3); // fanin 1 (from 3), fanout 2
         assert_eq!(m.fanin_fanout(1), 2);
+    }
+
+    #[test]
+    fn row_neighbors_matches_fanout() {
+        let m = ConnectionMatrix::from_pairs(70, [(2, 1), (2, 65), (2, 2)]).unwrap();
+        let got: Vec<usize> = m.row_neighbors(2).collect();
+        assert_eq!(got, vec![1, 2, 65]);
+        assert_eq!(m.row_neighbors(0).count(), 0);
     }
 
     #[test]

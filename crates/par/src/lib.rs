@@ -1,0 +1,657 @@
+//! Deterministic scoped parallelism for the AutoNCS workspace.
+//!
+//! Every primitive in this crate obeys one contract: **the chunk layout
+//! is a function of the problem size only, never of the thread count or
+//! of scheduling**. Workers fill pre-indexed output slots (or return
+//! per-chunk partials that are folded sequentially in chunk order), so a
+//! kernel built on these primitives produces bit-identical floating
+//! point results at `NCS_THREADS=1`, `NCS_THREADS=4`, or any other
+//! setting. The single-thread case never spawns: it runs the identical
+//! chunk/fold structure inline on the calling thread.
+//!
+//! Thread-count resolution, in priority order:
+//!
+//! 1. an in-process override installed with [`set_thread_override`]
+//!    (used by benches and determinism tests — no racy env mutation),
+//! 2. the `NCS_THREADS` environment variable (read once per process;
+//!    `0` or unparseable values fall back to the hardware default),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! // A chunked sum: same bits at any thread count, because the chunk
+//! // grid depends only on (len, grain) and partials fold in order.
+//! let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+//! let total = ncs_par::par_map_reduce(
+//!     xs.len(),
+//!     128,
+//!     |r| xs[r].iter().sum::<f64>(),
+//!     0.0,
+//!     |acc, part| acc + part,
+//! );
+//! let serial: f64 = ncs_par::chunk_ranges(xs.len(), 128)
+//!     .map(|r| xs[r].iter().sum::<f64>())
+//!     .sum();
+//! assert_eq!(total.to_bits(), serial.to_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// Upper bound on the worker count, to keep a typo'd `NCS_THREADS`
+/// from spawning thousands of threads.
+pub const MAX_THREADS: usize = 64;
+
+/// In-process override: 0 means "no override".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `NCS_THREADS` / hardware default, resolved once per process.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Resolves the worker count used by every primitive in this crate.
+///
+/// Priority: [`set_thread_override`] > `NCS_THREADS` > hardware
+/// parallelism. Always in `1..=`[`MAX_THREADS`]. Note the environment
+/// variable is sampled once per process, on first use.
+pub fn threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        let hw = thread::available_parallelism().map_or(1, |n| n.get());
+        resolve_threads(std::env::var("NCS_THREADS").ok().as_deref(), hw)
+    })
+}
+
+/// Pure thread-count resolution, separated from process state so it can
+/// be unit-tested without touching the environment.
+///
+/// `None`, an unparseable string, or `0` yield the hardware default;
+/// everything is clamped to `1..=`[`MAX_THREADS`].
+pub fn resolve_threads(env_value: Option<&str>, hardware: usize) -> usize {
+    let requested = env_value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(hardware);
+    requested.clamp(1, MAX_THREADS)
+}
+
+/// Installs (`Some(n)`) or removes (`None`) an in-process thread-count
+/// override that takes priority over `NCS_THREADS`.
+///
+/// Determinism tests and benches use this to compare thread counts
+/// within one process. `Some(0)` is treated as `Some(1)`.
+pub fn set_thread_override(n: Option<usize>) {
+    let v = n.map_or(0, |x| x.clamp(1, MAX_THREADS));
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Returns the current override installed by [`set_thread_override`].
+pub fn thread_override() -> Option<usize> {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Number of fixed-size chunks covering `len` items at `grain` items
+/// per chunk (the last chunk may be short). `grain` is clamped to ≥ 1.
+pub fn chunk_count(len: usize, grain: usize) -> usize {
+    len.div_ceil(grain.max(1))
+}
+
+/// The fixed chunk grid: disjoint, ascending ranges covering `0..len`.
+///
+/// This grid — a function of `(len, grain)` only — is the unit of work
+/// distribution everywhere in this crate, which is what makes results
+/// independent of the thread count.
+pub fn chunk_ranges(len: usize, grain: usize) -> impl Iterator<Item = Range<usize>> {
+    let grain = grain.max(1);
+    (0..chunk_count(len, grain)).map(move |c| (c * grain)..((c + 1) * grain).min(len))
+}
+
+/// Joins a scoped worker, propagating any panic to the caller.
+fn join<R>(handle: thread::ScopedJoinHandle<'_, R>) -> R {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Splits `0..chunks` into `workers` contiguous, ascending runs.
+fn worker_runs(chunks: usize, workers: usize) -> impl Iterator<Item = Range<usize>> {
+    (0..workers).map(move |w| (w * chunks / workers)..((w + 1) * chunks / workers))
+}
+
+/// Applies `f` to every chunk of `data` (mutably), returning the
+/// per-chunk results in chunk order.
+///
+/// `f` receives the global element offset of the chunk plus the chunk
+/// slice. Chunks are assigned to workers as contiguous runs, so the
+/// returned `Vec` is always in ascending chunk order regardless of the
+/// thread count; with one thread the chunks run inline, in order.
+pub fn par_chunks_mut<T, A, F>(data: &mut [T], grain: usize, f: F) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize, &mut [T]) -> A + Sync,
+{
+    let len = data.len();
+    let grain = grain.max(1);
+    let chunks = chunk_count(len, grain);
+    let workers = threads().min(chunks.max(1));
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(chunks);
+        let mut start = 0;
+        for chunk in data.chunks_mut(grain) {
+            out.push(f(start, chunk));
+            start += chunk.len();
+        }
+        return out;
+    }
+    let mut per_worker: Vec<Vec<A>> = Vec::with_capacity(workers);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = data;
+        let mut elem0 = 0usize;
+        for run in worker_runs(chunks, workers) {
+            let elem_end = (run.end * grain).min(len);
+            let (mine, tail) = rest.split_at_mut(elem_end - elem0);
+            rest = tail;
+            let base = elem0;
+            let fref = &f;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(run.len());
+                let mut start = base;
+                for chunk in mine.chunks_mut(grain) {
+                    out.push(fref(start, chunk));
+                    start += chunk.len();
+                }
+                out
+            }));
+            elem0 = elem_end;
+        }
+        for h in handles {
+            per_worker.push(join(h));
+        }
+    });
+    per_worker.into_iter().flatten().collect()
+}
+
+/// Maps every chunk range of `0..len` through `map` and folds the
+/// per-chunk partials **sequentially, in ascending chunk order**.
+///
+/// Because `map` sees only the chunk range (whose layout is a function
+/// of `(len, grain)`) and the fold is an ordered serial pass on the
+/// calling thread, the result is bit-identical at any thread count —
+/// including 1, where the chunks are mapped inline in the same order.
+pub fn par_map_reduce<A, B, M, F>(len: usize, grain: usize, map: M, init: B, mut fold: F) -> B
+where
+    A: Send,
+    M: Fn(Range<usize>) -> A + Sync,
+    F: FnMut(B, A) -> B,
+{
+    let grain = grain.max(1);
+    let chunks = chunk_count(len, grain);
+    let workers = threads().min(chunks.max(1));
+    if workers <= 1 {
+        let mut acc = init;
+        for r in chunk_ranges(len, grain) {
+            acc = fold(acc, map(r));
+        }
+        return acc;
+    }
+    let mut per_worker: Vec<Vec<A>> = Vec::with_capacity(workers);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for run in worker_runs(chunks, workers) {
+            let mref = &map;
+            handles.push(scope.spawn(move || {
+                run.map(|c| mref((c * grain)..((c + 1) * grain).min(len)))
+                    .collect::<Vec<A>>()
+            }));
+        }
+        for h in handles {
+            per_worker.push(join(h));
+        }
+    });
+    let mut acc = init;
+    for a in per_worker.into_iter().flatten() {
+        acc = fold(acc, a);
+    }
+    acc
+}
+
+/// Maps every item of `items` through `f`, returning results in item
+/// order (slot `i` always holds `f(i, &items[i])`).
+///
+/// `grain` controls load balance only: each worker takes a contiguous
+/// run of chunks. Results never depend on the thread count as long as
+/// `f` is a pure function of its arguments.
+pub fn par_map<T, R, F>(items: &[T], grain: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_reduce(
+        items.len(),
+        grain,
+        |r| r.map(|i| f(i, &items[i])).collect::<Vec<R>>(),
+        Vec::with_capacity(items.len()),
+        |mut acc, mut part| {
+            acc.append(&mut part);
+            acc
+        },
+    )
+}
+
+/// A sense-reversing spin barrier: orders of magnitude cheaper than
+/// `std::sync::Barrier` for the tight per-iteration synchronisation the
+/// eigensolver team needs (thousands of waits per call).
+struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(parties: usize) -> Self {
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all `parties` workers arrive. The last arrival
+    /// resets the count *before* bumping the generation, so the barrier
+    /// is immediately reusable.
+    fn wait(&self) {
+        if self.parties <= 1 {
+            return;
+        }
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins = spins.saturating_add(1);
+                if spins > 1 << 14 {
+                    // Oversubscribed (e.g. a 1-core container): yield so
+                    // the straggler can actually run.
+                    thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker context handed to a [`team_split_mut`] body.
+pub struct TeamCtx<'a> {
+    /// This worker's index in `0..workers`.
+    pub worker: usize,
+    /// Total workers in the team (1 on the serial path).
+    pub workers: usize,
+    /// First item (row) owned by this worker.
+    pub first_item: usize,
+    /// Number of items owned by this worker.
+    pub items: usize,
+    /// Total items across the whole team.
+    pub total_items: usize,
+    barrier: &'a SpinBarrier,
+}
+
+impl TeamCtx<'_> {
+    /// Barrier: blocks until every worker in the team has called it.
+    /// A no-op for a one-worker team. All data published to a
+    /// [`SharedF64Buf`] before the barrier is visible after it.
+    pub fn sync(&self) {
+        self.barrier.wait();
+    }
+
+    /// Whether `item` falls in this worker's owned range.
+    pub fn owns(&self, item: usize) -> bool {
+        item >= self.first_item && item < self.first_item + self.items
+    }
+
+    /// This worker's owned item range.
+    pub fn range(&self) -> Range<usize> {
+        self.first_item..self.first_item + self.items
+    }
+}
+
+/// SPMD team over `data` viewed as `data.len() / item_len` fixed-size
+/// items (e.g. matrix rows): each worker owns a contiguous run of items
+/// and runs `body` to completion, synchronising via [`TeamCtx::sync`].
+///
+/// Worker boundaries are aligned to multiples of `grain` items, so a
+/// chunk grid built with [`chunk_ranges`]`(n_items, grain)` is never
+/// split across workers — each chunk has exactly one owner. Returns the
+/// per-worker results in worker order. With one worker (or when
+/// [`threads`] is 1) `body` runs inline on the calling thread with the
+/// full slice, executing the same code path.
+///
+/// # Panics
+///
+/// Panics if `item_len == 0` or `data.len()` is not a multiple of
+/// `item_len`.
+pub fn team_split_mut<T, R, F>(
+    data: &mut [T],
+    item_len: usize,
+    grain: usize,
+    max_workers: usize,
+    body: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(TeamCtx<'_>, &mut [T]) -> R + Sync,
+{
+    assert!(item_len > 0, "team_split_mut: item_len must be positive");
+    assert_eq!(
+        data.len() % item_len,
+        0,
+        "team_split_mut: data must hold whole items"
+    );
+    let total_items = data.len() / item_len;
+    let grain = grain.max(1);
+    let blocks = chunk_count(total_items, grain);
+    let workers = threads().min(max_workers.max(1)).min(blocks.max(1));
+    if workers <= 1 {
+        let barrier = SpinBarrier::new(1);
+        let ctx = TeamCtx {
+            worker: 0,
+            workers: 1,
+            first_item: 0,
+            items: total_items,
+            total_items,
+            barrier: &barrier,
+        };
+        return vec![body(ctx, data)];
+    }
+    let barrier = SpinBarrier::new(workers);
+    let mut results: Vec<R> = Vec::with_capacity(workers);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = data;
+        let mut item0 = 0usize;
+        for (w, run) in worker_runs(blocks, workers).enumerate() {
+            let item_end = (run.end * grain).min(total_items);
+            let (mine, tail) = rest.split_at_mut((item_end - item0) * item_len);
+            rest = tail;
+            let ctx = TeamCtx {
+                worker: w,
+                workers,
+                first_item: item0,
+                items: item_end - item0,
+                total_items,
+                barrier: &barrier,
+            };
+            let bref = &body;
+            handles.push(scope.spawn(move || bref(ctx, mine)));
+            item0 = item_end;
+        }
+        for h in handles {
+            results.push(join(h));
+        }
+    });
+    results
+}
+
+/// A shared `f64` exchange buffer for [`team_split_mut`] bodies, backed
+/// by `AtomicU64` bit patterns so no `unsafe` is needed.
+///
+/// Loads and stores are `Relaxed`: the intended protocol is
+/// write → [`TeamCtx::sync`] → read, with the barrier providing the
+/// ordering. Values written outside that protocol may be observed torn
+/// across *different* slots but never within one (each slot is a single
+/// atomic word).
+pub struct SharedF64Buf {
+    bits: Vec<AtomicU64>,
+}
+
+impl SharedF64Buf {
+    /// A buffer of `len` slots, all initialised to `0.0`.
+    pub fn new(len: usize) -> Self {
+        SharedF64Buf {
+            bits: (0..len).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the buffer has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Stores `value` into slot `i` (bit-exact).
+    pub fn set(&self, i: usize, value: f64) {
+        self.bits[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Loads slot `i` (bit-exact).
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits[i].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that mutate the process-wide thread override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_override<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_override(Some(n));
+        let out = f();
+        set_thread_override(None);
+        out
+    }
+
+    #[test]
+    fn resolve_threads_parses_and_clamps() {
+        assert_eq!(resolve_threads(None, 8), 8);
+        assert_eq!(resolve_threads(Some("3"), 8), 3);
+        assert_eq!(resolve_threads(Some(" 2 "), 8), 2);
+        assert_eq!(resolve_threads(Some("0"), 8), 8, "0 means auto");
+        assert_eq!(resolve_threads(Some("nope"), 8), 8);
+        assert_eq!(resolve_threads(Some("9999"), 8), MAX_THREADS);
+        assert_eq!(resolve_threads(None, 0), 1, "hardware floor is 1");
+    }
+
+    #[test]
+    fn override_round_trips() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_override(Some(5));
+        assert_eq!(thread_override(), Some(5));
+        assert_eq!(threads(), 5);
+        set_thread_override(Some(0));
+        assert_eq!(thread_override(), Some(1), "0 clamps to 1");
+        set_thread_override(None);
+        assert_eq!(thread_override(), None);
+    }
+
+    #[test]
+    fn chunk_grid_covers_len_exactly() {
+        for (len, grain) in [(0, 4), (1, 4), (7, 3), (12, 3), (12, 100), (5, 0)] {
+            let ranges: Vec<_> = chunk_ranges(len, grain).collect();
+            assert_eq!(ranges.len(), chunk_count(len, grain));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be ascending and disjoint");
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, len, "ranges must cover 0..len");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_at_any_thread_count() {
+        let expect: Vec<f64> = (0..103).map(|i| (i as f64) * 2.0).collect();
+        for t in [1, 2, 5] {
+            let mut data: Vec<f64> = (0..103).map(|i| i as f64).collect();
+            let sums = with_override(t, || {
+                par_chunks_mut(&mut data, 10, |start, chunk| {
+                    for (k, x) in chunk.iter_mut().enumerate() {
+                        assert_eq!(*x, (start + k) as f64, "offsets must be global");
+                        *x *= 2.0;
+                    }
+                    chunk.iter().sum::<f64>()
+                })
+            });
+            assert_eq!(data, expect);
+            assert_eq!(sums.len(), chunk_count(103, 10));
+            let flat: f64 = sums.iter().sum();
+            assert_eq!(flat, expect.iter().sum::<f64>());
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_bit_identical_across_thread_counts() {
+        let xs: Vec<f64> = (0..997).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let sum_at = |t: usize| {
+            with_override(t, || {
+                par_map_reduce(
+                    xs.len(),
+                    64,
+                    |r| xs[r].iter().sum::<f64>(),
+                    0.0f64,
+                    |acc, p| acc + p,
+                )
+            })
+        };
+        let reference = sum_at(1);
+        for t in [2, 3, 7] {
+            assert_eq!(sum_at(t).to_bits(), reference.to_bits());
+        }
+        // And the serial path is exactly the ordered chunk fold.
+        let by_hand: f64 = chunk_ranges(xs.len(), 64)
+            .map(|r| xs[r].iter().sum::<f64>())
+            .sum();
+        assert_eq!(reference.to_bits(), by_hand.to_bits());
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..57).collect();
+        for t in [1, 4] {
+            let out = with_override(t, || par_map(&items, 5, |i, &x| (i, x * x)));
+            assert_eq!(out.len(), items.len());
+            for (i, (slot, sq)) in out.iter().enumerate() {
+                assert_eq!(*slot, i);
+                assert_eq!(*sq, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn team_split_covers_items_and_aligns_to_grain() {
+        for t in [1, 3, 4] {
+            let mut rows = vec![0u32; 11 * 4]; // 11 items of length 4
+            let infos = with_override(t, || {
+                team_split_mut(&mut rows, 4, 2, usize::MAX, |ctx, mine| {
+                    assert_eq!(mine.len(), ctx.items * 4);
+                    assert_eq!(ctx.first_item % 2, 0, "grain-aligned boundaries");
+                    for x in mine.iter_mut() {
+                        *x += 1;
+                    }
+                    (ctx.worker, ctx.first_item, ctx.items)
+                })
+            });
+            assert!(rows.iter().all(|&x| x == 1), "every item visited once");
+            let mut next = 0;
+            for (w, first, items) in &infos {
+                assert_eq!(*w, infos[*w].0);
+                assert_eq!(*first, next);
+                next += items;
+            }
+            assert_eq!(next, 11);
+        }
+    }
+
+    #[test]
+    fn team_barrier_publishes_shared_values() {
+        // Classic SPMD round trip: worker 0 publishes, everyone reads
+        // after the barrier, everyone publishes partials, worker 0 folds
+        // in index order. Must give the same answer at any team size.
+        let run_at = |t: usize| {
+            with_override(t, || {
+                let mut rows = vec![0.0f64; 16 * 2];
+                for (i, x) in rows.iter_mut().enumerate() {
+                    *x = i as f64;
+                }
+                let buf = SharedF64Buf::new(16);
+                let seedbuf = SharedF64Buf::new(1);
+                let folds = team_split_mut(&mut rows, 2, 1, usize::MAX, |ctx, mine| {
+                    if ctx.worker == 0 {
+                        seedbuf.set(0, 0.5);
+                    }
+                    ctx.sync();
+                    let seed = seedbuf.get(0);
+                    for (k, item) in mine.chunks(2).enumerate() {
+                        buf.set(ctx.first_item + k, seed * (item[0] + item[1]));
+                    }
+                    ctx.sync();
+                    // Every worker folds the full buffer in index order:
+                    // identical bits on all workers.
+                    let mut acc = 0.0;
+                    for i in 0..buf.len() {
+                        acc += buf.get(i);
+                    }
+                    acc
+                });
+                for w in &folds {
+                    assert_eq!(w.to_bits(), folds[0].to_bits());
+                }
+                folds[0]
+            })
+        };
+        let reference = run_at(1);
+        for t in [2, 4] {
+            assert_eq!(run_at(t).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn shared_buf_round_trips_exact_bits() {
+        let buf = SharedF64Buf::new(3);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        for v in [0.0, -0.0, 1.5e-300, f64::INFINITY, f64::MIN_POSITIVE] {
+            buf.set(1, v);
+            assert_eq!(buf.get(1).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: [f64; 0] = [];
+        assert!(par_chunks_mut(&mut empty, 4, |_, _| 0).is_empty());
+        assert_eq!(
+            par_map_reduce(0, 4, |_| 1.0f64, 7.0f64, |a, b| a + b).to_bits(),
+            7.0f64.to_bits()
+        );
+        let none: [u8; 0] = [];
+        assert!(par_map(&none, 4, |_, &x| x).is_empty());
+    }
+}

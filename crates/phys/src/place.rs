@@ -363,25 +363,62 @@ fn initial_grid(netlist: &Netlist, omega: f64) -> (Vec<f64>, Vec<f64>) {
     (xs, ys)
 }
 
+/// Wires per chunk of the parallel wirelength evaluation. The chunk grid
+/// is part of the numeric contract: partial sums and per-chunk gradient
+/// scratch fold in ascending chunk order on every path, so results are
+/// bit-identical at any thread count.
+const WL_GRAIN: usize = 64;
+
+/// Cells per chunk of the parallel density evaluation (same contract as
+/// [`WL_GRAIN`]).
+const DENSITY_GRAIN: usize = 64;
+
 /// Weighted-average wirelength (Eq. 1) over all wires; optionally
 /// accumulates the gradient into `grad` (layout `[∂x..., ∂y...]`).
+///
+/// Wire chunks fan out across the ncs-par team; each chunk scatters its
+/// gradient into private scratch, folded sequentially in chunk order.
 fn wa_wirelength(netlist: &Netlist, p: &[f64], gamma: f64, grad: Option<&mut [f64]>) -> f64 {
     let n = netlist.cells.len();
     let (xs, ys) = p.split_at(n);
-    let mut total = 0.0;
-    let mut grad = grad;
-    for wire in &netlist.wires {
-        for (coords, offset) in [(xs, 0usize), (ys, n)] {
-            let (span, derivs) = wa_span(&wire.pins, coords, gamma);
-            total += wire.weight * span;
-            if let Some(g) = grad.as_deref_mut() {
-                for (&pin, d) in wire.pins.iter().zip(&derivs) {
-                    g[offset + pin] += wire.weight * d;
+    let wires = &netlist.wires;
+    let chunk = |r: std::ops::Range<usize>, scratch: Option<&mut [f64]>| -> f64 {
+        let mut scratch = scratch;
+        let mut total = 0.0;
+        for wire in &wires[r] {
+            for (coords, offset) in [(xs, 0usize), (ys, n)] {
+                let (span, derivs) = wa_span(&wire.pins, coords, gamma);
+                total += wire.weight * span;
+                if let Some(g) = scratch.as_deref_mut() {
+                    for (&pin, d) in wire.pins.iter().zip(&derivs) {
+                        g[offset + pin] += wire.weight * d;
+                    }
                 }
             }
         }
+        total
+    };
+    match grad {
+        Some(g) => ncs_par::par_map_reduce(
+            wires.len(),
+            WL_GRAIN,
+            |r| {
+                let mut scratch = vec![0.0; 2 * n];
+                let t = chunk(r, Some(&mut scratch));
+                (t, scratch)
+            },
+            0.0,
+            |acc, (t, scratch)| {
+                for (slot, s) in g.iter_mut().zip(&scratch) {
+                    *slot += s;
+                }
+                acc + t
+            },
+        ),
+        None => {
+            ncs_par::par_map_reduce(wires.len(), WL_GRAIN, |r| chunk(r, None), 0.0, |a, t| a + t)
+        }
     }
-    total
 }
 
 /// WA smooth max-minus-min of one coordinate over a pin set, with per-pin
@@ -433,7 +470,6 @@ fn bell(t: f64, w: f64) -> (f64, f64) {
 fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -> f64 {
     let n = netlist.cells.len();
     let (xs, ys) = p.split_at(n);
-    let mut grad = grad;
     // Interaction radius: the largest virtual extent.
     let max_ext = netlist
         .cells
@@ -442,6 +478,9 @@ fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -
         .fold(0.0_f64, f64::max)
         * omega;
     let bucket = max_ext.max(1.0);
+    // The spatial hash is built serially (it is cheap and order-sensitive);
+    // the pair sweep below then fans out over outer-cell chunks, each
+    // pair charged to the chunk owning its smaller index `i`.
     let mut hash: std::collections::BTreeMap<(i64, i64), Vec<CellId>> =
         std::collections::BTreeMap::new();
     for cell in &netlist.cells {
@@ -451,45 +490,68 @@ fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -
         );
         hash.entry(key).or_default().push(cell.id);
     }
-    let mut total = 0.0;
-    for cell in &netlist.cells {
-        let i = cell.id;
-        let kx = (xs[i] / bucket).floor() as i64;
-        let ky = (ys[i] / bucket).floor() as i64;
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                let Some(others) = hash.get(&(kx + dx, ky + dy)) else {
-                    continue;
-                };
-                for &j in others {
-                    if j <= i {
+    let hash = &hash;
+    let chunk = |r: std::ops::Range<usize>, scratch: Option<&mut [f64]>| -> f64 {
+        let mut scratch = scratch;
+        let mut total = 0.0;
+        for cell in &netlist.cells[r] {
+            let i = cell.id;
+            let kx = (xs[i] / bucket).floor() as i64;
+            let ky = (ys[i] / bucket).floor() as i64;
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(others) = hash.get(&(kx + dx, ky + dy)) else {
                         continue;
-                    }
-                    let cj = &netlist.cells[j];
-                    let wx = omega * (cell.dims.width + cj.dims.width) / 2.0;
-                    let wy = omega * (cell.dims.height + cj.dims.height) / 2.0;
-                    let tx = xs[i] - xs[j];
-                    let ty = ys[i] - ys[j];
-                    if tx.abs() >= wx || ty.abs() >= wy {
-                        continue;
-                    }
-                    let (ox, dox) = bell(tx, wx);
-                    let (oy, doy) = bell(ty, wy);
-                    let aij = cell.dims.area().min(cj.dims.area());
-                    total += aij * ox * oy;
-                    if let Some(g) = grad.as_deref_mut() {
-                        let gx = aij * dox * tx.signum() * oy;
-                        let gy = aij * ox * doy * ty.signum();
-                        g[i] += gx;
-                        g[j] -= gx;
-                        g[n + i] += gy;
-                        g[n + j] -= gy;
+                    };
+                    for &j in others {
+                        if j <= i {
+                            continue;
+                        }
+                        let cj = &netlist.cells[j];
+                        let wx = omega * (cell.dims.width + cj.dims.width) / 2.0;
+                        let wy = omega * (cell.dims.height + cj.dims.height) / 2.0;
+                        let tx = xs[i] - xs[j];
+                        let ty = ys[i] - ys[j];
+                        if tx.abs() >= wx || ty.abs() >= wy {
+                            continue;
+                        }
+                        let (ox, dox) = bell(tx, wx);
+                        let (oy, doy) = bell(ty, wy);
+                        let aij = cell.dims.area().min(cj.dims.area());
+                        total += aij * ox * oy;
+                        if let Some(g) = scratch.as_deref_mut() {
+                            let gx = aij * dox * tx.signum() * oy;
+                            let gy = aij * ox * doy * ty.signum();
+                            g[i] += gx;
+                            g[j] -= gx;
+                            g[n + i] += gy;
+                            g[n + j] -= gy;
+                        }
                     }
                 }
             }
         }
+        total
+    };
+    match grad {
+        Some(g) => ncs_par::par_map_reduce(
+            n,
+            DENSITY_GRAIN,
+            |r| {
+                let mut scratch = vec![0.0; 2 * n];
+                let t = chunk(r, Some(&mut scratch));
+                (t, scratch)
+            },
+            0.0,
+            |acc, (t, scratch)| {
+                for (slot, s) in g.iter_mut().zip(&scratch) {
+                    *slot += s;
+                }
+                acc + t
+            },
+        ),
+        None => ncs_par::par_map_reduce(n, DENSITY_GRAIN, |r| chunk(r, None), 0.0, |a, t| a + t),
     }
-    total
 }
 
 /// Exact total pairwise rectangle-overlap area.

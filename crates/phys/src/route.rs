@@ -1,9 +1,22 @@
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use ncs_tech::TechnologyModel;
 
 use crate::{CellId, Netlist, PhysError, Placement, WireId};
+
+/// Wires speculatively routed per batch before the ordered commit pass.
+/// Fixed — never derived from the thread count — so the batch grid, and
+/// with it every routing decision, is identical at any `NCS_THREADS`.
+const ROUTE_BATCH: usize = 8;
+
+/// Private usage overlay for speculative routing: extra traversals per
+/// grid edge, keyed by `(owning bin index, horizontal)`, layered on top
+/// of a frozen congestion snapshot.
+type EdgeOverlay = BTreeMap<(usize, bool), usize>;
+
+/// A speculatively planned wire: one bin path per MST segment.
+type SegPaths = Vec<Vec<(usize, usize)>>;
 
 /// Options for the global router.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,8 +120,16 @@ pub struct Routing {
 ///
 /// Per Section 3.5: wires are ordered by the distance from the center of
 /// gravity of all cells to their closest pin (with wire weight as the tie
-/// breaker), routed one by one with capacity-respecting Dijkstra, and any
-/// wires that fail are retried after the virtual capacity is relaxed.
+/// breaker), routed with capacity-respecting Dijkstra, and any wires that
+/// fail are retried after the virtual capacity is relaxed.
+///
+/// Routing proceeds in fixed-size batches: each batch is planned
+/// speculatively against the congestion snapshot frozen at batch start
+/// (in parallel when `NCS_THREADS > 1`), then committed sequentially in
+/// batch order with re-validation; plans invalidated by an earlier commit
+/// re-enter the queue at the same capacity. Because the batch grid never
+/// depends on the thread count, the routing is bit-identical at any
+/// `NCS_THREADS` setting.
 ///
 /// Multi-pin wires are decomposed into a Manhattan minimum spanning tree
 /// over their pins and each tree edge is maze-routed independently (the
@@ -191,40 +212,65 @@ pub fn route(
 
     loop {
         let mut failed = Vec::new();
-        for &wid in &pending {
-            let wire = &netlist.wires[wid];
-            // Decompose multi-pin wires into a minimum spanning tree over
-            // the pin positions (Manhattan metric) — for two pins this is
-            // just the pair itself. Each tree edge routes and commits
-            // independently.
-            let segments = mst_segments(&wire.pins, placement);
-            let mut seg_paths: Vec<Vec<(usize, usize)>> = Vec::with_capacity(segments.len());
-            let mut ok = true;
-            for seg in segments {
-                let src = bin_of(seg.0);
-                let dst = bin_of(seg.1);
-                match grid.shortest_path(src, dst, capacity, options.congestion_penalty) {
-                    Some(path) => seg_paths.push(path),
-                    None => {
-                        ok = false;
-                        break;
+        // Batched speculative routing with an ordered sequential commit.
+        // Each batch is planned (in parallel when `NCS_THREADS > 1`)
+        // against the grid frozen at batch start, then committed one wire
+        // at a time in batch order with re-validation. Batch membership
+        // depends only on the queue contents — never the thread count —
+        // so the result is bit-identical at any `NCS_THREADS`; conflicts
+        // surface as commit failures and re-enter the queue at the same
+        // capacity.
+        let mut queue: VecDeque<WireId> = pending.drain(..).collect();
+        while !queue.is_empty() {
+            let take = queue.len().min(ROUTE_BATCH);
+            let batch: Vec<WireId> = queue.drain(..take).collect();
+            let grid_ref = &grid;
+            let bin_ref = &bin_of;
+            // Speculative phase. A wire decomposes into a Manhattan MST
+            // over its pins; its own segments see each other through a
+            // private overlay so a multi-pin net respects the congestion
+            // it would itself create. `None` means a segment found no
+            // capacity-respecting path even on the frozen grid.
+            let plans: Vec<Option<SegPaths>> = ncs_par::par_map(&batch, 1, |_, &wid| {
+                let wire = &netlist.wires[wid];
+                let mut overlay = EdgeOverlay::new();
+                let mut seg_paths = Vec::new();
+                for seg in mst_segments(&wire.pins, placement) {
+                    let path = grid_ref.shortest_path(
+                        bin_ref(seg.0),
+                        bin_ref(seg.1),
+                        capacity,
+                        options.congestion_penalty,
+                        &overlay,
+                    )?;
+                    grid_ref.accumulate(&path, &mut overlay);
+                    seg_paths.push(path);
+                }
+                Some(seg_paths)
+            });
+            // Commit phase: strictly in batch order. The first plannable
+            // wire of every batch commits (its plan was validated against
+            // the exact grid it re-validates on), so each batch makes
+            // progress and the same-capacity retry queue always drains.
+            for (&wid, plan) in batch.iter().zip(plans) {
+                match plan {
+                    None => failed.push(wid),
+                    Some(seg_paths) => {
+                        if grid.try_commit(&seg_paths, capacity) {
+                            let mut length = 0.0;
+                            for p in &seg_paths {
+                                length += (p.len().saturating_sub(1)) as f64 * theta;
+                            }
+                            routed[wid] = Some(RoutedWire {
+                                wire: wid,
+                                path: seg_paths.concat(),
+                                length_um: length,
+                            });
+                        } else {
+                            queue.push_back(wid);
+                        }
                     }
                 }
-            }
-            if ok {
-                let mut length = 0.0;
-                for p in &seg_paths {
-                    grid.commit(p);
-                    length += (p.len().saturating_sub(1)) as f64 * theta;
-                }
-                let full_path = seg_paths.concat();
-                routed[wid] = Some(RoutedWire {
-                    wire: wid,
-                    path: full_path,
-                    length_um: length,
-                });
-            } else {
-                failed.push(wid);
             }
         }
         if failed.is_empty() {
@@ -343,8 +389,11 @@ impl Grid {
     /// Capacity-aware shortest path from `src` to `dst`. Edges at or over
     /// the virtual capacity are **unusable** (the FastRoute-style hard
     /// limit); edges below it cost `1 + penalty · usage / capacity` so
-    /// wires spread away from congested regions. Returns `None` when no
-    /// capacity-respecting path exists — the caller then relaxes the
+    /// wires spread away from congested regions. Effective edge usage is
+    /// the grid counter plus the caller's `overlay` — the private
+    /// traversals a speculatively routed wire has already planned (pass
+    /// an empty map to route against the grid alone). Returns `None` when
+    /// no capacity-respecting path exists — the caller then relaxes the
     /// virtual capacity and reroutes, per Section 3.5.
     fn shortest_path(
         &self,
@@ -352,6 +401,7 @@ impl Grid {
         dst: (usize, usize),
         capacity: usize,
         penalty: f64,
+        overlay: &EdgeOverlay,
     ) -> Option<Vec<(usize, usize)>> {
         if src == dst {
             return Some(vec![src]);
@@ -376,25 +426,33 @@ impl Grid {
             }
             let c = node % self.cols;
             let r = node / self.cols;
-            let mut neighbors: [(isize, isize, usize); 4] = [(0, 0, 0); 4];
+            // Each candidate move carries its edge key: the index of the
+            // bin owning the edge plus the horizontal/vertical flag.
+            let mut neighbors: [(isize, isize, usize, bool); 4] = [(0, 0, 0, false); 4];
             let mut count = 0;
             if c + 1 < self.cols {
-                neighbors[count] = (1, 0, self.h_use[node]);
+                neighbors[count] = (1, 0, node, true);
                 count += 1;
             }
             if c > 0 {
-                neighbors[count] = (-1, 0, self.h_use[node - 1]);
+                neighbors[count] = (-1, 0, node - 1, true);
                 count += 1;
             }
             if r + 1 < self.rows {
-                neighbors[count] = (0, 1, self.v_use[node]);
+                neighbors[count] = (0, 1, node, false);
                 count += 1;
             }
             if r > 0 {
-                neighbors[count] = (0, -1, self.v_use[node - self.cols]);
+                neighbors[count] = (0, -1, node - self.cols, false);
                 count += 1;
             }
-            for &(dc, dr, usage) in &neighbors[..count] {
+            for &(dc, dr, eidx, horizontal) in &neighbors[..count] {
+                let base = if horizontal {
+                    self.h_use[eidx]
+                } else {
+                    self.v_use[eidx]
+                };
+                let usage = base + overlay.get(&(eidx, horizontal)).copied().unwrap_or(0);
                 if usage >= capacity {
                     continue;
                 }
@@ -441,6 +499,50 @@ impl Grid {
                 self.v_use[idx] += 1;
             }
         }
+    }
+
+    /// Adds every edge of `path` to `overlay` — the speculative-routing
+    /// counterpart of [`Grid::commit`], letting later segments of the
+    /// same wire see earlier ones without mutating the shared grid.
+    fn accumulate(&self, path: &[(usize, usize)], overlay: &mut EdgeOverlay) {
+        for seg in path.windows(2) {
+            let (c0, r0) = seg[0];
+            let (c1, r1) = seg[1];
+            let key = if r0 == r1 {
+                (self.idx(c0.min(c1), r0), true)
+            } else {
+                (self.idx(c0, r0.min(r1)), false)
+            };
+            *overlay.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// Re-validates a speculatively planned wire against the *current*
+    /// grid and commits it atomically. Tallies the wire's per-edge
+    /// traversals (a multi-pin net can cross the same edge more than
+    /// once) and commits only if every touched edge still fits under
+    /// `capacity`; returns `false` — leaving the grid untouched — when a
+    /// commit from earlier in the batch consumed the headroom this plan
+    /// relied on.
+    fn try_commit(&mut self, seg_paths: &[Vec<(usize, usize)>], capacity: usize) -> bool {
+        let mut deltas = EdgeOverlay::new();
+        for path in seg_paths {
+            self.accumulate(path, &mut deltas);
+        }
+        for (&(eidx, horizontal), &delta) in &deltas {
+            let base = if horizontal {
+                self.h_use[eidx]
+            } else {
+                self.v_use[eidx]
+            };
+            if base + delta > capacity {
+                return false;
+            }
+        }
+        for path in seg_paths {
+            self.commit(path);
+        }
+        true
     }
 }
 
@@ -657,7 +759,9 @@ mod tests {
     #[test]
     fn grid_shortest_path_is_manhattan_when_uncongested() {
         let grid = Grid::new(10, 10);
-        let path = grid.shortest_path((1, 1), (4, 5), 8, 2.0).unwrap();
+        let path = grid
+            .shortest_path((1, 1), (4, 5), 8, 2.0, &EdgeOverlay::new())
+            .unwrap();
         assert_eq!(path.len(), 1 + 3 + 4);
         assert_eq!(path[0], (1, 1));
         assert_eq!(*path.last().unwrap(), (4, 5));
@@ -672,11 +776,70 @@ mod tests {
                 grid.commit(&[(c, 1), (c + 1, 1)]);
             }
         }
-        let path = grid.shortest_path((0, 1), (4, 1), 2, 10.0).unwrap();
+        let path = grid
+            .shortest_path((0, 1), (4, 1), 2, 10.0, &EdgeOverlay::new())
+            .unwrap();
         // The detour leaves row 1.
         assert!(
             path.iter().any(|&(_, r)| r != 1),
             "expected a detour, got {path:?}"
         );
+    }
+
+    #[test]
+    fn overlay_usage_blocks_edges_like_committed_usage() {
+        // Saturating the straight corridor only in a private overlay must
+        // force the same detour as committing it to the grid.
+        let grid = Grid::new(5, 3);
+        let mut overlay = EdgeOverlay::new();
+        for c in 0..4 {
+            grid.accumulate(&[(c, 1), (c + 1, 1)], &mut overlay);
+            grid.accumulate(&[(c, 1), (c + 1, 1)], &mut overlay);
+        }
+        let path = grid
+            .shortest_path((0, 1), (4, 1), 2, 10.0, &overlay)
+            .unwrap();
+        assert!(
+            path.iter().any(|&(_, r)| r != 1),
+            "expected a detour, got {path:?}"
+        );
+        // Without the overlay the corridor is free and the path is direct.
+        let direct = grid
+            .shortest_path((0, 1), (4, 1), 2, 10.0, &EdgeOverlay::new())
+            .unwrap();
+        assert!(direct.iter().all(|&(_, r)| r == 1));
+    }
+
+    #[test]
+    fn try_commit_rejects_paths_that_no_longer_fit() {
+        let mut grid = Grid::new(5, 3);
+        let corridor: Vec<(usize, usize)> = (0..5).map(|c| (c, 1)).collect();
+        // Capacity 2: the corridor fits twice, then re-validation fails.
+        assert!(grid.try_commit(std::slice::from_ref(&corridor), 2));
+        assert!(grid.try_commit(std::slice::from_ref(&corridor), 2));
+        assert!(!grid.try_commit(std::slice::from_ref(&corridor), 2));
+        // A rejected commit leaves the grid untouched.
+        assert_eq!(grid.h_use.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn routing_is_bit_identical_across_thread_counts() {
+        // The determinism contract: identical Routing (paths, lengths,
+        // congestion map, relaxation count) at any NCS_THREADS.
+        let (nl, p) = placed_netlist();
+        let opts = RouterOptions {
+            virtual_capacity: 2,
+            ..RouterOptions::default()
+        };
+        let run_at = |t: usize| {
+            ncs_par::set_thread_override(Some(t));
+            let r = route(&nl, &p, &TechnologyModel::nm45(), &opts);
+            ncs_par::set_thread_override(None);
+            r.unwrap()
+        };
+        let base = run_at(1);
+        for t in [2, 4] {
+            assert_eq!(base, run_at(t), "routing diverged at t={t}");
+        }
     }
 }

@@ -52,6 +52,7 @@ fn workspace_contains_expected_crates() {
     let meta = metadata_json();
     for name in [
         "ncs-rng",
+        "ncs-par",
         "ncs-linalg",
         "ncs-net",
         "ncs-cluster",

@@ -95,6 +95,56 @@ fn placement_coordinates_are_bit_identical_for_fixed_seed() {
 }
 
 #[test]
+fn flow_is_bit_identical_across_thread_counts() {
+    // The ncs-par determinism contract, end to end: the entire flow —
+    // spectral clustering through the parallel eigensolver, k-means,
+    // placement with chunk-ordered gradient folds, batched maze routing —
+    // must produce the same bits whether the kernels run on one worker
+    // (the true serial code path) or four. The thread override is the
+    // programmatic equivalent of setting NCS_THREADS; CI additionally
+    // runs the whole suite under NCS_THREADS=1 and NCS_THREADS=4.
+    let tb = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let framework = AutoNcs::fast();
+    let run_at = |t: usize| {
+        ncs_par::set_thread_override(Some(t));
+        let r = framework.run(tb.network());
+        ncs_par::set_thread_override(None);
+        r.expect("flow succeeds")
+    };
+    let a = run_at(1);
+    let b = run_at(4);
+    let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&a.design.placement.x),
+        bits(&b.design.placement.x),
+        "per-cell x coordinates diverged between NCS_THREADS=1 and 4"
+    );
+    assert_eq!(
+        bits(&a.design.placement.y),
+        bits(&b.design.placement.y),
+        "per-cell y coordinates diverged between NCS_THREADS=1 and 4"
+    );
+    // Routing statistics, paths, and congestion map — Routing is PartialEq
+    // so this pins every routed bin.
+    assert_eq!(
+        a.design.routing, b.design.routing,
+        "routing diverged between NCS_THREADS=1 and 4"
+    );
+    assert_eq!(
+        a.design.cost.wirelength_um.to_bits(),
+        b.design.cost.wirelength_um.to_bits()
+    );
+    assert_eq!(
+        a.design.cost.area_um2.to_bits(),
+        b.design.cost.area_um2.to_bits()
+    );
+    assert_eq!(
+        a.design.cost.average_delay_ns.to_bits(),
+        b.design.cost.average_delay_ns.to_bits()
+    );
+}
+
+#[test]
 fn testbench_generation_is_deterministic_for_fixed_seed() {
     let a = Testbench::from_spec(spec(), SEED).expect("valid spec");
     let b = Testbench::from_spec(spec(), SEED).expect("valid spec");
