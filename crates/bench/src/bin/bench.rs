@@ -141,6 +141,26 @@ fn flow() {
     let mut group = BenchGroup::new("flow");
     group.bench("autoncs", || framework.run(tb.network()).unwrap());
     group.bench("fullcro", || framework.baseline(tb.network()).unwrap());
+    // One extra traced run *outside* the timed loop: the medians above
+    // stay on the zero-cost disabled path, while the artifact still
+    // carries a per-stage breakdown plus results/TRACE_flow.json.
+    let (_, events) = ncs_trace::capture(|| {
+        framework.run(tb.network()).unwrap();
+        framework.baseline(tb.network()).unwrap();
+    });
+    let report = ncs_trace::TraceReport::from_events(&events);
+    group.set_stages(
+        report
+            .spans
+            .iter()
+            .map(|s| ncs_bench::StageTime {
+                name: s.name.to_string(),
+                calls: s.count,
+                total_ns: s.total_ns,
+            })
+            .collect(),
+    );
+    report_artifact(&report.export("flow").expect("write trace artifact"));
     report_artifact(&group.write_json());
 }
 

@@ -66,6 +66,20 @@ impl Speedup {
     }
 }
 
+/// Wall-clock total of one instrumented flow stage, taken from an
+/// `ncs-trace` capture outside the timed loop — so the timed medians stay
+/// on the zero-cost disabled path while the artifact still carries a
+/// per-stage breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTime {
+    /// Stage (span) name, e.g. `"flow.map"`.
+    pub name: String,
+    /// Times the stage ran during the capture.
+    pub calls: u64,
+    /// Total nanoseconds across all calls.
+    pub total_ns: u128,
+}
+
 /// A named collection of benchmark results that serializes to one
 /// `BENCH_<group>.json` artifact.
 #[derive(Debug, Clone)]
@@ -78,6 +92,7 @@ pub struct BenchGroup {
     hardware_threads: usize,
     results: Vec<BenchResult>,
     speedups: Vec<Speedup>,
+    stages: Vec<StageTime>,
 }
 
 impl BenchGroup {
@@ -99,6 +114,7 @@ impl BenchGroup {
                 .unwrap_or(1),
             results: Vec::new(),
             speedups: Vec::new(),
+            stages: Vec::new(),
         }
     }
 
@@ -194,6 +210,17 @@ impl BenchGroup {
         &self.speedups
     }
 
+    /// Attaches a per-stage timing breakdown (from a traced run outside
+    /// the timed loop); it serializes as the optional `stages` array.
+    pub fn set_stages(&mut self, stages: Vec<StageTime>) {
+        self.stages = stages;
+    }
+
+    /// Stage timings attached so far.
+    pub fn stages(&self) -> &[StageTime] {
+        &self.stages
+    }
+
     /// Hardware threads detected on this host.
     pub fn hardware_threads(&self) -> usize {
         self.hardware_threads
@@ -218,7 +245,9 @@ impl BenchGroup {
     /// ```
     ///
     /// The `speedups` array is present only when
-    /// [`BenchGroup::bench_speedup`] was used.
+    /// [`BenchGroup::bench_speedup`] was used; a `stages` array with
+    /// `{"name", "calls", "total_ns"}` entries is present only when
+    /// [`BenchGroup::set_stages`] attached a traced breakdown.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
@@ -257,6 +286,22 @@ impl BenchGroup {
                     s.serial_ns,
                     s.parallel_ns,
                     s.factor()
+                );
+            }
+            out.push_str("\n  ]");
+        }
+        if !self.stages.is_empty() {
+            out.push_str(",\n  \"stages\": [");
+            for (i, s) in self.stages.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n    {{\"name\": {}, \"calls\": {}, \"total_ns\": {}}}",
+                    json_string(&s.name),
+                    s.calls,
+                    s.total_ns
                 );
             }
             out.push_str("\n  ]");
@@ -373,6 +418,31 @@ mod tests {
         assert!(json.contains("\"hardware_threads\""), "{json}");
         assert!(json.contains("\"speedups\": ["), "{json}");
         assert!(json.contains("\"serial_ns\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn stages_section_appears_only_when_attached() {
+        let mut group = BenchGroup::new("stages_selftest").samples(1);
+        group.bench("noop", || 1);
+        assert!(!group.to_json().contains("\"stages\""));
+        group.set_stages(vec![
+            StageTime {
+                name: "flow.map".into(),
+                calls: 2,
+                total_ns: 1234,
+            },
+            StageTime {
+                name: "flow.implement".into(),
+                calls: 2,
+                total_ns: 5678,
+            },
+        ]);
+        assert_eq!(group.stages().len(), 2);
+        let json = group.to_json();
+        assert!(json.contains("\"stages\": ["), "{json}");
+        assert!(json.contains("\"name\": \"flow.map\", \"calls\": 2, \"total_ns\": 1234"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

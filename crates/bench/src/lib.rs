@@ -6,7 +6,7 @@
 
 pub mod harness;
 
-pub use harness::{BenchGroup, BenchResult, Speedup};
+pub use harness::{BenchGroup, BenchResult, Speedup, StageTime};
 
 use std::fs;
 use std::io::Write as _;

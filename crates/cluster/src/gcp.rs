@@ -114,6 +114,7 @@ pub(crate) fn gcp_from_embedding(
                     let (a, b) = bisect(&u, &clusters[j], options.seed.wrapping_add(j as u64));
                     clusters[j] = a;
                     clusters.push(b);
+                    ncs_trace::add("gcp.splits", 1);
                     flag_inner = true;
                     flag_outer = true;
                 } else {
@@ -133,6 +134,7 @@ pub(crate) fn gcp_from_embedding(
         }
         assignment = Some(assign);
         if !flag_outer {
+            ncs_trace::record("gcp.outer_iterations", (outer + 1) as u64);
             return Ok(Clustering::new(clusters, n));
         }
     }

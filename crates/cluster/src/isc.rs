@@ -122,6 +122,15 @@ pub struct IscTrace {
     pub threshold: f64,
 }
 
+/// Mirrors one completed [`IscIteration`] onto the `ncs-trace` counters,
+/// so the observability stream and the returned [`IscTrace`] are derived
+/// from the same bookkeeping (one source of truth, never two tallies).
+fn trace_iteration(rec: &IscIteration) {
+    ncs_trace::add("isc.iterations", 1);
+    ncs_trace::add("isc.clusters_selected", rec.clusters_selected as u64);
+    ncs_trace::add("isc.connections_removed", rec.connections_removed as u64);
+}
+
 /// **Iterative Spectral Clustering** (Algorithm 3) with the partial
 /// selection strategy.
 ///
@@ -185,6 +194,7 @@ impl Isc {
         &self,
         net: &ConnectionMatrix,
     ) -> Result<(HybridMapping, IscTrace), ClusterError> {
+        let _span = ncs_trace::span("cluster.isc");
         let opts = &self.options;
         if !(0.0..=1.0).contains(&opts.selection_quantile) {
             return Err(ClusterError::InvalidThreshold {
@@ -331,7 +341,7 @@ impl Isc {
             } else {
                 0.0
             };
-            iterations.push(IscIteration {
+            let record = IscIteration {
                 iteration: m,
                 clusters_formed: clustering.len(),
                 clusters_selected: selected,
@@ -343,7 +353,9 @@ impl Isc {
                 },
                 average_utilization: avg_util,
                 average_cp: avg_cp,
-            });
+            };
+            trace_iteration(&record);
+            iterations.push(record);
             if removed == 0 {
                 stop_reason = StopReason::NothingRemoved;
                 break;
@@ -356,6 +368,7 @@ impl Isc {
 
         // Line 18: remaining connections become discrete synapses.
         let outliers: Vec<(usize, usize)> = remaining.iter().collect();
+        ncs_trace::record("isc.outliers", outliers.len() as u64);
         let mapping = HybridMapping::new(net.neurons(), crossbars, outliers);
         Ok((
             mapping,

@@ -249,6 +249,7 @@ fn lloyd(
             break;
         }
     }
+    ncs_trace::record("kmeans.iterations", iterations as u64);
     let inertia = (0..n)
         .map(|i| vector::distance_sq(points.row(i), centroids.row(assignment[i])))
         .sum();

@@ -110,6 +110,21 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Drains this thread's trace stream into a per-stage summary table plus a
+/// `results/TRACE_<flow>.json` artifact. A no-op unless `NCS_TRACE` is on.
+fn emit_trace_summary(flow: &str) -> Result<(), String> {
+    if !ncs_trace::enabled() {
+        return Ok(());
+    }
+    let report = ncs_trace::TraceReport::from_events(&ncs_trace::take_events());
+    print!("{}", report.render_table());
+    let path = report
+        .export(flow)
+        .map_err(|e| format!("cannot write trace artifact: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 fn load_net(path: &str) -> Result<ConnectionMatrix, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     netio::read_edge_list(file).map_err(|e| format!("cannot parse {path}: {e}"))
@@ -219,6 +234,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut table = CostTable::new();
     table.push(report.to_row(path.rsplit('/').next().unwrap_or(path)));
     print!("{table}");
+    emit_trace_summary("compare")?;
     Ok(())
 }
 
@@ -251,6 +267,7 @@ fn cmd_implement(args: &[String]) -> Result<(), String> {
         .write_ppm(File::create(&congestion_path).map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     println!("wrote {congestion_path}");
+    emit_trace_summary("implement")?;
     Ok(())
 }
 

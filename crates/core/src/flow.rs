@@ -118,6 +118,7 @@ impl AutoNcs {
     ///
     /// Propagates clustering failures.
     pub fn map(&self, net: &ConnectionMatrix) -> Result<(HybridMapping, IscTrace), FlowError> {
+        let _span = ncs_trace::span("flow.map");
         Ok(Isc::new(self.isc.clone()).run_traced(net)?)
     }
 
@@ -128,8 +129,12 @@ impl AutoNcs {
     ///
     /// Propagates failures from either stage.
     pub fn run(&self, net: &ConnectionMatrix) -> Result<FlowResult, FlowError> {
+        let _span = ncs_trace::span("flow.run");
         let (mapping, trace) = self.map(net)?;
-        let design = implement_mapping(&mapping, &self.tech, &self.implement)?;
+        let design = {
+            let _span = ncs_trace::span("flow.implement");
+            implement_mapping(&mapping, &self.tech, &self.implement)?
+        };
         Ok(FlowResult {
             mapping,
             trace: Some(trace),
@@ -144,6 +149,7 @@ impl AutoNcs {
     ///
     /// Propagates failures from either stage.
     pub fn baseline(&self, net: &ConnectionMatrix) -> Result<FlowResult, FlowError> {
+        let _span = ncs_trace::span("flow.baseline");
         let mapping = full_crossbar(net, self.isc.sizes.max())?;
         let design = implement_mapping(&mapping, &self.tech, &self.implement)?;
         Ok(FlowResult {

@@ -79,7 +79,8 @@ impl SymmetricEigen {
         let mut d = vec![0.0; n];
         let mut e = vec![0.0; n];
         tred2(&mut z, &mut d, &mut e);
-        tql2(&mut z, &mut d, &mut e)?;
+        let sweeps = tql2(&mut z, &mut d, &mut e)?;
+        ncs_trace::record("eigen.ql_sweeps", sweeps as u64);
         // Sort ascending, permuting eigenvector columns accordingly.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
@@ -499,10 +500,14 @@ fn tred2_body(
 /// including the underflow deflation path) and applies each Givens
 /// rotation inline to its own row block, so no barriers are needed and
 /// the per-element arithmetic matches the serial path exactly.
-pub(crate) fn tql2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
+pub(crate) fn tql2(
+    z: &mut DenseMatrix,
+    d: &mut [f64],
+    e: &mut [f64],
+) -> Result<usize, LinalgError> {
     let n = d.len();
     if n == 1 {
-        return Ok(());
+        return Ok(0);
     }
     if ncs_par::threads() > 1 && n >= TEAM_MIN_N {
         let d0 = d.to_vec();
@@ -522,16 +527,16 @@ pub(crate) fn tql2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<
                         row[i] = c * row[i] - s * f;
                     }
                 })
-                .map(|()| (dw, ew))
+                .map(|sweeps| (dw, ew, sweeps))
             },
         );
         // Every worker ran the same recurrence on the same input bits;
         // take worker 0's copy (a team always has at least one worker).
         match results.swap_remove(0) {
-            Ok((dw, ew)) => {
+            Ok((dw, ew, sweeps)) => {
                 d.copy_from_slice(&dw);
                 e.copy_from_slice(&ew);
-                Ok(())
+                Ok(sweeps)
             }
             Err(err) => Err(err),
         }
@@ -550,17 +555,19 @@ pub(crate) fn tql2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<
 /// The scalar QL recurrence, shared verbatim by the serial path and by
 /// every team worker; `rotate(i, s, c)` must apply the Givens rotation
 /// to columns `(i, i + 1)` of whichever eigenvector rows the caller
-/// owns.
+/// owns. Returns the total number of QL sweeps performed — a pure
+/// function of the input bits, so every worker computes the same count.
 fn tql2_kernel(
     d: &mut [f64],
     e: &mut [f64],
     mut rotate: impl FnMut(usize, f64, f64),
-) -> Result<(), LinalgError> {
+) -> Result<usize, LinalgError> {
     let n = d.len();
     for i in 1..n {
         e[i - 1] = e[i];
     }
     e[n - 1] = 0.0;
+    let mut sweeps = 0;
     for l in 0..n {
         let mut iter = 0;
         loop {
@@ -577,6 +584,7 @@ fn tql2_kernel(
                 break;
             }
             iter += 1;
+            sweeps += 1;
             if iter > SymmetricEigen::MAX_ITER {
                 return Err(LinalgError::NoConvergence {
                     kernel: "tql2",
@@ -621,7 +629,7 @@ fn tql2_kernel(
             e[m] = 0.0;
         }
     }
-    Ok(())
+    Ok(sweeps)
 }
 
 #[cfg(test)]

@@ -116,6 +116,7 @@ where
         });
     };
     let mut w = vec![0.0; n];
+    let mut restarts = 0u64;
     while basis.len() < m_target {
         matvec(&v, &mut w);
         let alpha = dot(&v, &w);
@@ -148,6 +149,7 @@ where
             // with a zero coupling coefficient.
             match fresh_direction(&basis, &mut next_random) {
                 Some(fresh) => {
+                    restarts += 1;
                     betas.push(0.0);
                     v = fresh;
                 }
@@ -161,6 +163,8 @@ where
 
     // Solve the tridiagonal Ritz problem (d = alphas, e = betas).
     let m = basis.len();
+    ncs_trace::add("lanczos.restarts", restarts);
+    ncs_trace::record("lanczos.basis", m as u64);
     let mut d = alphas.clone();
     // tql2 expects the subdiagonal in e[1..m].
     let mut e = vec![0.0; m];

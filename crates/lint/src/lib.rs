@@ -17,6 +17,12 @@
 //!   `#![forbid(unsafe_code)]` and a `missing_docs` lint header.
 //! * **float-eq** — no bare `==` / `!=` against float literals outside
 //!   tests.
+//! * **no-adhoc-threads** — `thread::spawn` / `thread::scope` /
+//!   `thread::Builder` only inside `ncs-par`; everywhere else the
+//!   deterministic `par_*` primitives.
+//! * **no-adhoc-logging** — no `println!` / `eprintln!` in non-test
+//!   library code of the flow crates; diagnostics go through the
+//!   structured `ncs-trace` counters and spans (bin targets exempt).
 //!
 //! Findings are suppressed per-site with a waiver comment naming the
 //! rule, on the same line or alone on the line above:

@@ -32,6 +32,9 @@ const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
 /// Thread-spawning entry points banned outside `crates/par`.
 const THREAD_ENTRY_POINTS: &[&str] = &["spawn", "scope", "Builder"];
 
+/// Terminal-printing macros banned in flow-crate library code.
+const LOG_MACROS: &[&str] = &["println", "eprintln"];
+
 /// Cast targets considered lossy in numeric kernels: every float/int
 /// type narrower than 64 bits. (`as f64` / `as i64` / `as usize` pass:
 /// index math and float widening are pervasive and reviewed case by
@@ -79,6 +82,12 @@ pub const RULES: &[Rule] = &[
         summary: "thread::spawn/scope/Builder only inside ncs-par; everywhere \
                   else use the deterministic par_* primitives",
     },
+    Rule {
+        name: "no-adhoc-logging",
+        summary: "no println!/eprintln! in non-test library code of the flow \
+                  crates; record ncs-trace counters/spans instead (bin \
+                  targets are exempt)",
+    },
 ];
 
 /// Runs every applicable rule over one lexed file.
@@ -86,6 +95,7 @@ pub fn check_file(lexed: &LexedFile, ctx: &FileContext) -> Vec<Diagnostic> {
     let mut raw = Vec::new();
     if applies_to_crate(ctx, PANIC_FREE_CRATES) && !ctx.is_bin_target && !ctx.is_test_code {
         no_panic_paths(lexed, ctx, &mut raw);
+        no_adhoc_logging(lexed, ctx, &mut raw);
     }
     if applies_to_crate(ctx, DETERMINISTIC_CRATES) && !ctx.is_test_code {
         deterministic_iteration(lexed, ctx, &mut raw);
@@ -326,6 +336,32 @@ fn no_adhoc_threads(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnost
     }
 }
 
+/// `no-adhoc-logging`: `println!` / `eprintln!` in flow-crate library
+/// code. Kernel prints are invisible to callers, interleave
+/// nondeterministically across worker threads, and duplicate state the
+/// flow already tracks — diagnostics belong in `ncs_trace` counters and
+/// spans, and terminal output in bin targets (which are exempt, like
+/// test code).
+fn no_adhoc_logging(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if LOG_MACROS.contains(&t.text.as_str()) && next_is_punct(toks, i + 1, "!") {
+            out.push(diag(
+                ctx,
+                "no-adhoc-logging",
+                t,
+                format!(
+                    "{}! prints ad-hoc text from library code; record an ncs_trace counter/span or move the output into a bin target",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 fn is_punct(t: &Token, text: &str) -> bool {
     t.kind == TokenKind::Punct && t.text == text
 }
@@ -447,6 +483,29 @@ mod tests {
         ctx.crate_name = Some("par".to_string());
         let ds = check_file(&lex("fn f() { thread::spawn(|| {}); }"), &ctx);
         assert!(ds.iter().all(|d| d.rule != "no-adhoc-threads"));
+    }
+
+    #[test]
+    fn flags_adhoc_logging() {
+        let ds = findings("fn f(x: u8) { println!(\"x = {x}\"); eprintln!(\"warn\"); }");
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.rule == "no-adhoc-logging"));
+    }
+
+    #[test]
+    fn structured_formatting_is_not_logging() {
+        assert!(findings(
+            "fn f(buf: &mut String) { let _ = writeln!(buf, \"ok\"); let _ = format!(\"ok\"); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bin_targets_may_print() {
+        let mut ctx = strict_ctx();
+        ctx.is_bin_target = true;
+        let ds = check_file(&lex("fn main() { println!(\"hello\"); }"), &ctx);
+        assert!(ds.iter().all(|d| d.rule != "no-adhoc-logging"));
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Fixture: ad-hoc terminal logging in flow-crate library code.
+
+fn report(progress: usize) {
+    println!("progress: {progress}");
+    eprintln!("warning: slow convergence");
+}
+
+fn harmless(buf: &mut String) {
+    use std::fmt::Write as _;
+    let _ = writeln!(buf, "structured: {}", 1);
+    let _ = format!("also fine: {}", report as usize);
+}

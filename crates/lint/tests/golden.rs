@@ -103,6 +103,23 @@ fn golden_no_adhoc_threads() {
 }
 
 #[test]
+fn golden_no_adhoc_logging() {
+    // `writeln!` into a buffer and `format!` on lines 10-11 must NOT
+    // appear — only the terminal-stream macros are ad-hoc logging.
+    assert_eq!(
+        rendered("violations_logging.rs"),
+        [
+            "violations_logging.rs:4:5: [no-adhoc-logging] println! prints ad-hoc text from \
+             library code; record an ncs_trace counter/span or move the output into a bin \
+             target",
+            "violations_logging.rs:5:5: [no-adhoc-logging] eprintln! prints ad-hoc text from \
+             library code; record an ncs_trace counter/span or move the output into a bin \
+             target",
+        ]
+    );
+}
+
+#[test]
 fn golden_crate_hygiene() {
     assert_eq!(
         rendered("bad_root/src/lib.rs"),
@@ -146,6 +163,7 @@ fn cli_violation_fixtures_exit_nonzero() {
         "violations_cast.rs",
         "violations_float_eq.rs",
         "violations_threads.rs",
+        "violations_logging.rs",
         "bad_root/src/lib.rs",
     ] {
         let out = lint_cmd()

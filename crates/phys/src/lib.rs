@@ -124,8 +124,15 @@ pub fn implement_mapping(
     let mut placer = options.placer.clone();
     let mut best: Option<PhysicalDesign> = None;
     for round in 0..=options.routability_iterations {
-        let placement = place(&netlist, &placer)?;
-        let routing = route(&netlist, &placement, tech, &options.router)?;
+        ncs_trace::add("phys.rounds", 1);
+        let placement = {
+            let _span = ncs_trace::span("phys.place");
+            place(&netlist, &placer)?
+        };
+        let routing = {
+            let _span = ncs_trace::span("phys.route");
+            route(&netlist, &placement, tech, &options.router)?
+        };
         let cost = PhysicalCost::evaluate(&netlist, &placement, &routing, tech, options.weights);
         let congested = routing.congestion.max_usage() > options.congestion_target;
         let candidate = PhysicalDesign {

@@ -222,6 +222,7 @@ pub fn place(netlist: &Netlist, options: &PlacerOptions) -> Result<Placement, Ph
             p0,
             &options.cg,
         );
+        ncs_trace::add("place.cg_iterations", result.iterations as u64);
         xs.copy_from_slice(&result.x[..n]);
         ys.copy_from_slice(&result.x[n..]);
         if overlap_area(netlist, &xs, &ys) <= stop_overlap {
@@ -229,12 +230,17 @@ pub fn place(netlist: &Netlist, options: &PlacerOptions) -> Result<Placement, Ph
         }
         lambda *= options.lambda_multiplier;
     }
+    ncs_trace::record("place.outer_iterations", outer as u64);
 
     // Line 7: process the remaining overlap, then normalize.
     let mut placement = finalize_placement(netlist, xs, ys, options.legalizer_passes, outer);
     if options.detailed_swap_passes > 0 {
         detailed_swap(netlist, &mut placement, options.detailed_swap_passes);
     }
+    ncs_trace::record(
+        "place.overlap_um2",
+        placement.final_overlap_um2.round() as u64,
+    );
     Ok(placement)
 }
 

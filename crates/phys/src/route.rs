@@ -257,6 +257,7 @@ pub fn route(
                     None => failed.push(wid),
                     Some(seg_paths) => {
                         if grid.try_commit(&seg_paths, capacity) {
+                            ncs_trace::add("route.commits", 1);
                             let mut length = 0.0;
                             for p in &seg_paths {
                                 length += (p.len().saturating_sub(1)) as f64 * theta;
@@ -267,6 +268,7 @@ pub fn route(
                                 length_um: length,
                             });
                         } else {
+                            ncs_trace::add("route.requeues", 1);
                             queue.push_back(wid);
                         }
                     }
@@ -276,6 +278,7 @@ pub fn route(
         if failed.is_empty() {
             break;
         }
+        ncs_trace::add("route.failed", failed.len() as u64);
         relaxations += 1;
         if relaxations > options.max_relaxations {
             return Err(PhysError::Unroutable {
@@ -289,14 +292,18 @@ pub fn route(
     }
 
     // The retry loop only exits once `pending` drains, so every slot is
-    // filled — but surface a routing error rather than panic if not.
+    // filled — but surface a routing error rather than panic if not. The
+    // same tally feeds the `route.missing` counter, so the observability
+    // stream and the error path share one source of truth.
     let missing = routed.iter().filter(|r| r.is_none()).count();
+    ncs_trace::add("route.missing", missing as u64);
     if missing > 0 {
         return Err(PhysError::Unroutable {
             failed: missing,
             relaxations,
         });
     }
+    ncs_trace::record("route.relaxations", relaxations as u64);
     let routed: Vec<RoutedWire> = routed.into_iter().flatten().collect();
     let total = routed.iter().map(|r| r.length_um).sum();
     let mut usage = vec![0usize; cols * rows];

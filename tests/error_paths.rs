@@ -1,0 +1,345 @@
+//! Error-path depth: every `ClusterError`, `PhysError` and `FlowError`
+//! variant is triggered through a public entry point, and its Display
+//! text and `source()` chain are pinned. Error messages are part of the
+//! user-facing contract — CLI users and flow callers match on them — so
+//! a rewording shows up here rather than in a downstream report.
+
+use std::error::Error as _;
+
+use autoncs::{AutoNcs, FlowError};
+use ncs_cluster::{
+    full_crossbar, gcp, kmeans, msc, traversing, ClusterError, CrossbarSizeSet, GcpOptions, Isc,
+    IscOptions,
+};
+use ncs_linalg::{DenseMatrix, LinalgError};
+use ncs_net::{generators, ConnectionMatrix, NetError};
+use ncs_phys::{
+    place, route, ImplementOptions, Netlist, PhysError, PlacerOptions, RouterOptions, Wire,
+};
+use ncs_tech::TechnologyModel;
+
+const SEED: u64 = 42;
+
+fn points(n: usize) -> DenseMatrix {
+    let data: Vec<f64> = (0..n * 2).map(|i| (i as f64 * 0.37).sin()).collect();
+    DenseMatrix::from_vec(n, 2, data).expect("consistent dims")
+}
+
+// ---------------------------------------------------------------- cluster
+
+#[test]
+fn cluster_invalid_cluster_count_from_kmeans_and_msc() {
+    let e = kmeans(&points(3), 0, SEED, 10).unwrap_err();
+    assert_eq!(e, ClusterError::InvalidClusterCount { k: 0, points: 3 });
+    assert_eq!(e.to_string(), "cluster count 0 invalid for 3 points");
+    assert!(e.source().is_none());
+
+    let e = kmeans(&points(3), 7, SEED, 10).unwrap_err();
+    assert_eq!(e.to_string(), "cluster count 7 invalid for 3 points");
+
+    let net = generators::uniform_random(10, 0.2, SEED).expect("valid generator");
+    let e = msc(&net, 11, SEED).unwrap_err();
+    assert_eq!(e, ClusterError::InvalidClusterCount { k: 11, points: 10 });
+}
+
+#[test]
+fn cluster_empty_size_set_from_constructor() {
+    let e = CrossbarSizeSet::new(std::iter::empty()).unwrap_err();
+    assert_eq!(e, ClusterError::EmptySizeSet);
+    assert_eq!(e.to_string(), "crossbar size set is empty");
+    assert!(e.source().is_none());
+}
+
+#[test]
+fn cluster_invalid_size_limit_from_every_front_end() {
+    let net = generators::uniform_random(12, 0.2, SEED).expect("valid generator");
+    for e in [
+        full_crossbar(&net, 0).unwrap_err(),
+        traversing(&net, 0, SEED).unwrap_err(),
+        gcp(
+            &net,
+            &GcpOptions {
+                max_cluster_size: 0,
+                ..GcpOptions::default()
+            },
+        )
+        .unwrap_err(),
+    ] {
+        assert_eq!(e, ClusterError::InvalidSizeLimit { limit: 0 });
+        assert_eq!(e.to_string(), "cluster size limit 0 must be at least 1");
+        assert!(e.source().is_none());
+    }
+}
+
+#[test]
+fn cluster_invalid_threshold_from_isc_options() {
+    let net = generators::uniform_random(12, 0.2, SEED).expect("valid generator");
+    let e = Isc::new(IscOptions {
+        selection_quantile: 2.0,
+        ..IscOptions::default()
+    })
+    .run(&net)
+    .unwrap_err();
+    assert_eq!(e, ClusterError::InvalidThreshold { value: 2.0 });
+    assert_eq!(e.to_string(), "utilization threshold 2 must lie in [0, 1]");
+
+    let e = Isc::new(IscOptions {
+        utilization_threshold: Some(-0.5),
+        ..IscOptions::default()
+    })
+    .run(&net)
+    .unwrap_err();
+    assert_eq!(e, ClusterError::InvalidThreshold { value: -0.5 });
+    assert_eq!(
+        e.to_string(),
+        "utilization threshold -0.5 must lie in [0, 1]"
+    );
+}
+
+#[test]
+fn cluster_linalg_and_net_wrappers_keep_their_sources() {
+    let e: ClusterError = LinalgError::Empty.into();
+    assert!(e.to_string().starts_with("linear algebra failure: "));
+    let source = e.source().expect("Linalg carries a source");
+    assert_eq!(source.to_string(), LinalgError::Empty.to_string());
+
+    let inner = NetError::EmptyRequest { what: "network" };
+    let e: ClusterError = inner.clone().into();
+    assert!(e.to_string().starts_with("network failure: "));
+    let source = e.source().expect("Net carries a source");
+    assert_eq!(source.to_string(), inner.to_string());
+}
+
+#[test]
+fn cluster_traversing_budget_is_a_defensive_guard() {
+    // `traversing` documents that the budget cannot be exceeded for
+    // `limit >= 1` — the scan's final `k = n` always yields singletons.
+    // Pin both halves of that contract: the worst-case input still
+    // succeeds, and the guard variant's Display text stays stable for
+    // any future entry point that can reach it.
+    let net = ConnectionMatrix::from_pairs(3, [(0, 1), (0, 2)]).expect("valid edges");
+    let c = traversing(&net, 1, SEED).expect("k = n singletons always fit limit 1");
+    assert_eq!(c.max_cluster_size(), 1);
+
+    let e = ClusterError::TraversingBudgetExceeded { max_k: 3 };
+    assert_eq!(
+        e.to_string(),
+        "traversing baseline exhausted its budget at k = 3"
+    );
+    assert!(e.source().is_none());
+}
+
+#[test]
+fn cluster_invalid_iteration_budget_from_gcp() {
+    let net = generators::uniform_random(12, 0.2, SEED).expect("valid generator");
+    let e = gcp(
+        &net,
+        &GcpOptions {
+            max_outer_iterations: 0,
+            ..GcpOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(
+        e,
+        ClusterError::InvalidIterationBudget {
+            what: "max_outer_iterations"
+        }
+    );
+    assert_eq!(
+        e.to_string(),
+        "iteration budget max_outer_iterations must be at least 1"
+    );
+    assert!(e.source().is_none());
+}
+
+// ------------------------------------------------------------------- phys
+
+fn placed_small() -> (Netlist, ncs_phys::Placement) {
+    let net = generators::uniform_random(20, 0.1, SEED).expect("valid generator");
+    let mapping = full_crossbar(&net, 16).expect("valid size");
+    let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+    let p = place(&nl, &PlacerOptions::fast()).expect("placeable");
+    (nl, p)
+}
+
+#[test]
+fn phys_empty_netlist_from_placer() {
+    let nl = Netlist {
+        cells: vec![],
+        wires: vec![],
+    };
+    let e = place(&nl, &PlacerOptions::default()).unwrap_err();
+    assert_eq!(e, PhysError::EmptyNetlist);
+    assert_eq!(e.to_string(), "netlist contains no cells");
+    assert!(e.source().is_none());
+}
+
+#[test]
+fn phys_unknown_cell_from_position_lookup() {
+    let (_, p) = placed_small();
+    let e = p.position(9999).unwrap_err();
+    assert_eq!(e, PhysError::UnknownCell { id: 9999 });
+    assert_eq!(e.to_string(), "unknown cell id 9999");
+}
+
+#[test]
+fn phys_invalid_option_from_placer_and_router() {
+    let (nl, p) = placed_small();
+    let e = place(
+        &nl,
+        &PlacerOptions {
+            gamma: 0.0,
+            ..PlacerOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(e.to_string(), "invalid option gamma = 0");
+
+    let e = place(
+        &nl,
+        &PlacerOptions {
+            omega: 0.5,
+            ..PlacerOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(e.to_string(), "invalid option omega = 0.5");
+
+    let e = route(
+        &nl,
+        &p,
+        &TechnologyModel::nm45(),
+        &RouterOptions {
+            theta: -1.0,
+            ..RouterOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(e.to_string(), "invalid option theta = -1");
+    assert!(e.source().is_none());
+}
+
+#[test]
+fn phys_unroutable_when_capacity_cannot_relax() {
+    let (nl, p) = placed_small();
+    let e = route(
+        &nl,
+        &p,
+        &TechnologyModel::nm45(),
+        &RouterOptions {
+            virtual_capacity: 0,
+            max_relaxations: 0,
+            ..RouterOptions::default()
+        },
+    )
+    .unwrap_err();
+    match e {
+        PhysError::Unroutable {
+            failed,
+            relaxations,
+        } => {
+            assert!(failed > 0);
+            assert_eq!(relaxations, 0);
+            assert_eq!(
+                e.to_string(),
+                format!("{failed} wires unroutable after 0 capacity relaxations")
+            );
+        }
+        other => panic!("expected Unroutable, got {other:?}"),
+    }
+}
+
+#[test]
+fn phys_degenerate_wire_rejected_by_placer_and_router() {
+    let (mut nl, p) = placed_small();
+    nl.wires.push(Wire {
+        id: nl.wires.len(),
+        pins: vec![0],
+        weight: 1.0,
+    });
+    let bad_id = nl.wires.len() - 1;
+    let e = place(&nl, &PlacerOptions::default()).unwrap_err();
+    assert_eq!(e, PhysError::DegenerateWire { id: bad_id });
+    assert_eq!(
+        e.to_string(),
+        format!("wire {bad_id} has fewer than two pins")
+    );
+    let e = route(&nl, &p, &TechnologyModel::nm45(), &RouterOptions::default()).unwrap_err();
+    assert_eq!(e, PhysError::DegenerateWire { id: bad_id });
+}
+
+// ------------------------------------------------------------------- flow
+
+#[test]
+fn flow_cluster_error_surfaces_end_to_end() {
+    let net = generators::planted_clusters(48, 3, 0.4, 0.02, SEED)
+        .expect("valid generator")
+        .0;
+    let framework = AutoNcs::builder()
+        .isc_options(IscOptions {
+            selection_quantile: 2.0,
+            ..IscOptions::default()
+        })
+        .build();
+    let e = framework.run(&net).unwrap_err();
+    assert_eq!(
+        e,
+        FlowError::Cluster(ClusterError::InvalidThreshold { value: 2.0 })
+    );
+    assert_eq!(
+        e.to_string(),
+        "clustering stage failed: utilization threshold 2 must lie in [0, 1]"
+    );
+    // The chain bottoms out at the cluster error (which has no source).
+    let source = e.source().expect("FlowError::Cluster carries a source");
+    assert_eq!(
+        source.to_string(),
+        "utilization threshold 2 must lie in [0, 1]"
+    );
+    assert!(source.source().is_none());
+}
+
+#[test]
+fn flow_phys_error_surfaces_end_to_end() {
+    let net = generators::planted_clusters(48, 3, 0.4, 0.02, SEED)
+        .expect("valid generator")
+        .0;
+    let framework = AutoNcs::builder()
+        .implement_options(ImplementOptions {
+            placer: PlacerOptions {
+                gamma: 0.0,
+                ..PlacerOptions::fast()
+            },
+            ..ImplementOptions::fast()
+        })
+        .build();
+    let e = framework.run(&net).unwrap_err();
+    assert_eq!(
+        e,
+        FlowError::Phys(PhysError::InvalidOption {
+            what: "gamma",
+            value: "0".to_string()
+        })
+    );
+    assert_eq!(
+        e.to_string(),
+        "physical design stage failed: invalid option gamma = 0"
+    );
+    let source = e.source().expect("FlowError::Phys carries a source");
+    assert_eq!(source.to_string(), "invalid option gamma = 0");
+    // The same error reaches `baseline` too — both stages share the
+    // physical-design back end.
+    let e = framework.baseline(&net).unwrap_err();
+    assert!(matches!(e, FlowError::Phys(_)));
+}
+
+#[test]
+fn flow_error_chains_are_two_levels_deep_for_wrapped_sources() {
+    let e = FlowError::Cluster(ClusterError::Linalg(LinalgError::Empty));
+    let level1 = e.source().expect("flow error wraps a stage error");
+    let level2 = level1.source().expect("stage error wraps a kernel error");
+    assert_eq!(level2.to_string(), LinalgError::Empty.to_string());
+    assert!(level2.source().is_none());
+    assert!(e.to_string().starts_with("clustering stage failed: "));
+}

@@ -1,0 +1,207 @@
+//! Seeded property tests for the analytical models: the ncs-tech cost
+//! model, the ncs-xbar reliability sweep, and the mapping statistics of
+//! ncs-cluster. Each property is checked across a deterministic family
+//! of inputs derived from fixed seeds, so a failure always reproduces —
+//! these are randomized only in the sense that the inputs are not
+//! hand-picked.
+
+use ncs_cluster::{full_crossbar, Isc, IscOptions};
+use ncs_net::generators;
+use ncs_rng::Rng;
+use ncs_tech::{CellKind, TechnologyModel};
+use ncs_xbar::{reliability_sweep, DeviceModel};
+
+const SEEDS: [u64; 4] = [1, 7, 42, 1999];
+
+// ----------------------------------------------------------------- tech
+
+#[test]
+fn tech_crossbar_cost_is_monotonic_in_size() {
+    // Every cost term of the crossbar model — edge length, footprint and
+    // traversal delay — must grow strictly with the crossbar dimension,
+    // for any positive calibration, because the ISC size-selection loop
+    // relies on "bigger costs more" when trading utilization for count.
+    let tech = TechnologyModel::nm45();
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut sizes: Vec<usize> = (0..16)
+            .map(|_| 1 + (rng.gen_f64() * 128.0) as usize)
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        for pair in sizes.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                tech.crossbar_dims(a).width < tech.crossbar_dims(b).width,
+                "edge not monotonic between sizes {a} and {b}"
+            );
+            assert!(tech.area(CellKind::Crossbar(a)) < tech.area(CellKind::Crossbar(b)));
+            assert!(
+                tech.crossbar_delay_ns(a) < tech.crossbar_delay_ns(b),
+                "delay not monotonic between sizes {a} and {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tech_crossbar_dims_are_square_and_match_the_documented_formula() {
+    let tech = TechnologyModel::nm45();
+    for s in [1, 8, 16, 33, 64, 127] {
+        let d = tech.crossbar_dims(s);
+        assert_eq!(
+            d.width.to_bits(),
+            d.height.to_bits(),
+            "crossbars are square"
+        );
+        let expected = s as f64 * tech.memristor_pitch_um + 2.0 * tech.crossbar_periphery_um;
+        assert!((d.width - expected).abs() < 1e-12);
+        assert!((d.area() - expected * expected).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tech_wire_delay_is_quadratic_monotonic_and_zero_at_origin() {
+    let tech = TechnologyModel::nm45();
+    assert_eq!(tech.wire_delay_ns(0.0), 0.0);
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let l = rng.gen_f64() * 500.0;
+            let d = tech.wire_delay_ns(l);
+            assert!(d >= 0.0);
+            // Elmore: doubling the length quadruples the delay.
+            assert!((tech.wire_delay_ns(2.0 * l) - 4.0 * d).abs() < 1e-9 * d.max(1.0));
+            if l > 0.0 {
+                assert!(tech.wire_delay_ns(l * 1.5) > d, "not monotonic at L = {l}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tech_wire_weight_is_symmetric_and_at_least_one() {
+    let tech = TechnologyModel::nm45();
+    let kinds = |rng: &mut Rng| match (rng.gen_f64() * 3.0) as usize {
+        0 => CellKind::Crossbar(1 + (rng.gen_f64() * 128.0) as usize),
+        1 => CellKind::Synapse,
+        _ => CellKind::Neuron,
+    };
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let (a, b) = (kinds(&mut rng), kinds(&mut rng));
+            let w = tech.wire_weight(a, b);
+            assert!(w >= 1.0, "weight below base for {a} / {b}");
+            // Symmetric up to f64 summation order (base + da + db).
+            let flipped = tech.wire_weight(b, a);
+            assert!(
+                (w - flipped).abs() <= 1e-12 * w,
+                "weight not symmetric for {a} / {b}: {w} vs {flipped}"
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------- xbar
+
+#[test]
+fn xbar_reliability_errors_are_bounded_ordered_and_deterministic() {
+    let device = DeviceModel::default();
+    for seed in SEEDS {
+        let points = reliability_sweep(&device, &[8, 16, 32], 0.1, 2, seed).expect("valid sweep");
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            // Relative errors of a working analog array are proper
+            // fractions: the dot product drifts, it does not explode.
+            assert!(
+                (0.0..=1.0).contains(&p.ir_drop_error),
+                "ir_drop_error {} out of [0,1] at size {}",
+                p.ir_drop_error,
+                p.size
+            );
+            assert!(
+                (0.0..=1.0).contains(&p.combined_error),
+                "combined_error {} out of [0,1] at size {}",
+                p.combined_error,
+                p.size
+            );
+            // Process variation perturbs the result: the combined figure
+            // must actually differ from the IR-drop-only one. (With few
+            // trials the perturbation can occasionally *cancel* some
+            // IR-drop error, so no ordering is asserted per point.)
+            assert!(
+                p.combined_error != p.ir_drop_error,
+                "variation had no effect at size {}",
+                p.size
+            );
+        }
+        // Section 2.1: reliability degrades with array size.
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].ir_drop_error > pair[0].ir_drop_error,
+                "ir-drop error not growing: {:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Same seed, same numbers — the sweep is a pure function.
+        let again = reliability_sweep(&device, &[8, 16, 32], 0.1, 2, seed).expect("valid sweep");
+        assert_eq!(points, again);
+    }
+}
+
+// -------------------------------------------------------------- mapping
+
+#[test]
+fn mapping_statistics_invariants_hold_for_both_mappers() {
+    for seed in SEEDS {
+        let net = generators::uniform_random(60, 0.12, seed).expect("valid generator");
+        let mappings = [
+            full_crossbar(&net, 32).expect("FullCro succeeds"),
+            Isc::new(IscOptions {
+                seed,
+                ..IscOptions::default()
+            })
+            .run(&net)
+            .expect("ISC succeeds"),
+        ];
+        for mapping in &mappings {
+            mapping.verify_covers(&net).expect("covering invariant");
+            // Per-crossbar: a crossbar cannot realize more than s² junctions,
+            // and every neuron set must fit the physical dimension.
+            for c in mapping.crossbars() {
+                assert!(
+                    c.utilization() <= 1.0,
+                    "utilization {} > 1",
+                    c.utilization()
+                );
+                assert!(c.utilized() == c.connections.len());
+                assert!(c.inputs.len() <= c.size && c.outputs.len() <= c.size);
+            }
+            let avg = mapping.average_utilization();
+            assert!((0.0..=1.0).contains(&avg), "average utilization {avg}");
+            // Outlier ratio is exactly outliers / (realized + outliers).
+            let realized = mapping.realized_connections();
+            let outliers = mapping.outliers().len();
+            assert_eq!(realized + outliers, net.connections());
+            let expected = outliers as f64 / (realized + outliers) as f64;
+            assert!((mapping.outlier_ratio() - expected).abs() < 1e-12);
+            // Each outlier is one discrete synapse touching two ports, so
+            // the per-neuron synapse fanin+fanout sums to 2 · outliers.
+            assert_eq!(
+                mapping.synapse_fanin_fanout().iter().sum::<usize>(),
+                2 * outliers
+            );
+            // The size histogram is a partition of the crossbar list.
+            assert_eq!(
+                mapping
+                    .size_histogram()
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .sum::<usize>(),
+                mapping.crossbars().len()
+            );
+        }
+    }
+}
