@@ -14,6 +14,8 @@
 //!   linalg            dense eigensolver, spectral embedding, CG minimizer
 //!   par               serial-vs-parallel speedups of the ncs-par kernels
 //!   physical_design   placement (autoncs vs fullcro) and maze routing
+//!   place             incremental detailed swap vs full-recompute reference
+//!   route             windowed A* router vs full-grid Dijkstra reference
 //!   xbar              ideal vs IR-drop crossbar evaluation
 //! ```
 //!
@@ -30,7 +32,10 @@ use ncs_cluster::{
 use ncs_linalg::optimize::{minimize, CgOptions};
 use ncs_linalg::{CsrMatrix, DenseMatrix, SymmetricEigen, Triplet};
 use ncs_net::{generators, HopfieldNetwork, PatternSet, Testbench, TestbenchSpec};
-use ncs_phys::{place, route, Netlist, PlacerOptions, RouterOptions};
+use ncs_phys::{
+    detailed_swap, detailed_swap_reference, place, route, Netlist, PlacerOptions, RouteAlgorithm,
+    RouterOptions,
+};
 use ncs_tech::TechnologyModel;
 use ncs_xbar::{CrossbarArray, DeviceModel};
 
@@ -43,6 +48,8 @@ fn main() {
         "linalg",
         "par",
         "physical_design",
+        "place",
+        "route",
         "xbar",
     ];
     let groups: Vec<&str> = if requested.is_empty() {
@@ -58,6 +65,8 @@ fn main() {
             "linalg" => linalg(),
             "par" => par(),
             "physical_design" => physical_design(),
+            "place" => place_hot_path(),
+            "route" => route_hot_path(),
             "xbar" => xbar(),
             other => {
                 eprintln!("unknown bench group {other:?}; known: {all:?}");
@@ -108,7 +117,7 @@ fn clustering() {
             k += 1;
         }
     });
-    for n in [128usize, 256] {
+    for n in [192usize, 256] {
         let net = generators::planted_clusters(n, n / 32, 0.4, 0.01, SEED)
             .unwrap()
             .0;
@@ -352,6 +361,93 @@ fn physical_design() {
     group.bench("routing/maze_route", || {
         route(&nl, &p, &tech, &RouterOptions::default()).unwrap()
     });
+    report_artifact(&group.write_json());
+}
+
+/// Hot-path router benches: the production windowed-A* search vs the
+/// full-grid Dijkstra reference on the same placed hybrid mappings, with
+/// the thread override pinned to 1 so the medians measure the serial
+/// kernel (the regression gate for the A* rework) rather than whatever
+/// parallelism the host offers. Both algorithms produce bit-identical
+/// routes — see `tests/determinism.rs` — so this is a pure speed contest.
+fn route_hot_path() {
+    println!("[bench] route");
+    ncs_par::set_thread_override(Some(1));
+    let tech = TechnologyModel::nm45();
+    let mut group = BenchGroup::new("route");
+    for n in [192usize, 256] {
+        let net = generators::planted_clusters(n, n / 32, 0.4, 0.01, SEED)
+            .unwrap()
+            .0;
+        let hybrid = Isc::new(IscOptions {
+            seed: SEED,
+            ..IscOptions::default()
+        })
+        .run(&net)
+        .unwrap();
+        let nl = Netlist::from_mapping(&hybrid, &tech);
+        let p = place(&nl, &PlacerOptions::fast()).unwrap();
+        group.bench(&format!("astar_window/{n}"), || {
+            route(&nl, &p, &tech, &RouterOptions::default()).unwrap()
+        });
+        group.bench(&format!("dijkstra_reference/{n}"), || {
+            route(
+                &nl,
+                &p,
+                &tech,
+                &RouterOptions {
+                    algorithm: RouteAlgorithm::DijkstraReference,
+                    ..RouterOptions::default()
+                },
+            )
+            .unwrap()
+        });
+    }
+    ncs_par::set_thread_override(None);
+    report_artifact(&group.write_json());
+}
+
+/// Hot-path detailed-placement benches: the incremental bounding-box swap
+/// refinement vs the full-HPWL-recompute reference, on both netlist
+/// flavors (pairwise neuron↔device wires and folded shared nets), starting
+/// from the same analytic placement each iteration. Serial medians (thread
+/// override pinned to 1); both paths accept exactly the same swaps — see
+/// `tests/determinism.rs`.
+fn place_hot_path() {
+    println!("[bench] place");
+    ncs_par::set_thread_override(Some(1));
+    let tech = TechnologyModel::nm45();
+    let mut group = BenchGroup::new("place");
+    let net = generators::planted_clusters(256, 8, 0.4, 0.01, SEED)
+        .unwrap()
+        .0;
+    let hybrid = Isc::new(IscOptions {
+        seed: SEED,
+        ..IscOptions::default()
+    })
+    .run(&net)
+    .unwrap();
+    let analytic_only = PlacerOptions {
+        detailed_swap_passes: 0,
+        ..PlacerOptions::fast()
+    };
+    for (tag, nl) in [
+        ("pairwise", Netlist::from_mapping(&hybrid, &tech)),
+        ("shared", Netlist::from_mapping_shared(&hybrid, &tech)),
+    ] {
+        let base = place(&nl, &analytic_only).unwrap();
+        group.bench(&format!("incremental/{tag}"), || {
+            let mut p = base.clone();
+            detailed_swap(&nl, &mut p, 8);
+            p
+        });
+        group.bench(&format!("reference/{tag}"), || {
+            let mut p = base.clone();
+            detailed_swap_reference(&nl, &mut p, 8);
+            p
+        });
+    }
+    ncs_par::set_thread_override(None);
     report_artifact(&group.write_json());
 }
 

@@ -1,10 +1,11 @@
+use ncs_linalg::DenseMatrix;
 use ncs_net::ConnectionMatrix;
 
 use crate::gcp::gcp_from_embedding;
 use crate::msc::EmbeddingSource;
 use crate::{
     crossbar_preference, full_crossbar, min_satisfiable_size, spectral_embedding,
-    spectral_embedding_partial, ClusterError, CpModel, CrossbarAssignment, CrossbarSizeSet,
+    spectral_embedding_partial_warm, ClusterError, CpModel, CrossbarAssignment, CrossbarSizeSet,
     GcpOptions, HybridMapping,
 };
 
@@ -55,6 +56,13 @@ pub struct IscOptions {
     pub quantile_size_stop: bool,
     /// Eigensolver backing each iteration's spectral embedding.
     pub eigensolver: EigenBackend,
+    /// Whether the [`EigenBackend::Lanczos`] path seeds each iteration's
+    /// Krylov basis with the previous iteration's embedding (connection
+    /// removal perturbs the Laplacian only mildly, so the previous Ritz
+    /// vectors are near-invariant directions), and reuses the embedding
+    /// verbatim when an iteration removed nothing. Has no effect on the
+    /// [`EigenBackend::Dense`] path.
+    pub warm_start: bool,
     /// GCP inner options (size limit is overridden with `sizes.max()`).
     pub gcp: GcpOptions,
 }
@@ -70,6 +78,7 @@ impl Default for IscOptions {
             max_iterations: 64,
             quantile_size_stop: false,
             eigensolver: EigenBackend::default(),
+            warm_start: true,
             gcp: GcpOptions::default(),
         }
     }
@@ -218,6 +227,12 @@ impl Isc {
             seed: opts.seed,
             ..opts.gcp
         };
+        // Warm-start state for the Lanczos backend: the previous
+        // iteration's embedding plus the connection count it was computed
+        // for. `remaining` only ever shrinks (removal-only updates), so an
+        // unchanged count is a complete fingerprint of an unchanged matrix.
+        let mut prev_embedding: Option<DenseMatrix> = None;
+        let mut prev_connections: Option<usize> = None;
 
         for m in 1..=opts.max_iterations {
             if remaining.connections() == 0 {
@@ -230,11 +245,35 @@ impl Isc {
                 EigenBackend::Dense => EmbeddingSource::Dense(spectral_embedding(&remaining)?),
                 EigenBackend::Lanczos { oversample } => {
                     let budget = (2 * n.div_ceil(opts.sizes.max()).max(1) + oversample).clamp(1, n);
-                    EmbeddingSource::Partial(spectral_embedding_partial(
-                        &remaining,
-                        budget,
-                        opts.seed.wrapping_add(m as u64),
-                    )?)
+                    let connections = remaining.connections();
+                    let reusable = opts.warm_start && prev_connections == Some(connections);
+                    let u = match (&prev_embedding, reusable) {
+                        (Some(prev), true) => {
+                            // Nothing was removed since the last embed: the
+                            // matrix is identical, so the embedding is too.
+                            ncs_trace::add("isc.embed_reuses", 1);
+                            prev.clone()
+                        }
+                        _ => {
+                            let warm = if opts.warm_start {
+                                prev_embedding.as_ref()
+                            } else {
+                                None
+                            };
+                            if warm.is_some() {
+                                ncs_trace::add("isc.warm_starts", 1);
+                            }
+                            spectral_embedding_partial_warm(
+                                &remaining,
+                                budget,
+                                opts.seed.wrapping_add(m as u64),
+                                warm,
+                            )?
+                        }
+                    };
+                    prev_connections = Some(connections);
+                    prev_embedding = Some(u.clone());
+                    EmbeddingSource::Partial(u)
                 }
             };
             let gcp_seeded = GcpOptions {
@@ -550,6 +589,56 @@ mod tests {
             lanczos.outlier_ratio(),
             dense.outlier_ratio()
         );
+    }
+
+    #[test]
+    fn warm_started_lanczos_matches_cold_trace() {
+        // Warm-starting changes where the Krylov iteration *starts*, so on
+        // nets whose later iterations sit on near-tie cluster boundaries
+        // the approximate partial solver can legitimately tile the
+        // remainder differently. This planted two-community instance has
+        // robust decisions at every iteration (verified to agree across
+        // oversample budgets 8/16/32), so warm and cold runs must produce
+        // the identical trace and mapping — and determinism keeps this
+        // equality pinned.
+        let net = generators::planted_clusters(96, 2, 0.8, 0.002, 4)
+            .unwrap()
+            .0;
+        let warm_opts = IscOptions {
+            eigensolver: EigenBackend::Lanczos { oversample: 8 },
+            ..IscOptions::default()
+        };
+        let cold_opts = IscOptions {
+            warm_start: false,
+            ..warm_opts.clone()
+        };
+        let (warm_map, warm_trace) = Isc::new(warm_opts).run_traced(&net).unwrap();
+        let (cold_map, cold_trace) = Isc::new(cold_opts).run_traced(&net).unwrap();
+        assert_eq!(warm_trace, cold_trace);
+        assert_eq!(warm_map, cold_map);
+        assert!(
+            warm_trace.iterations.len() >= 2,
+            "need several iterations for the warm path to actually engage"
+        );
+    }
+
+    #[test]
+    fn warm_start_counter_fires() {
+        let net = structured_net();
+        let opts = IscOptions {
+            eigensolver: EigenBackend::Lanczos { oversample: 8 },
+            ..IscOptions::default()
+        };
+        let (_, events) = ncs_trace::capture(|| {
+            Isc::new(opts).run(&net).unwrap();
+        });
+        let report = ncs_trace::TraceReport::from_events(&events);
+        let warm = report
+            .counters
+            .iter()
+            .find(|c| c.name == "isc.warm_starts")
+            .map_or(0, |c| c.total);
+        assert!(warm >= 1, "warm starts never engaged: {warm}");
     }
 
     #[test]

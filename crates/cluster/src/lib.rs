@@ -66,6 +66,8 @@ pub use gcp::{gcp, GcpOptions};
 pub use isc::{EigenBackend, Isc, IscIteration, IscOptions, IscTrace, StopReason};
 pub use kmeans::{kmeans, KmeansResult};
 pub use mapping::{CrossbarAssignment, HybridMapping};
-pub use msc::{msc, spectral_embedding, spectral_embedding_partial};
+pub use msc::{
+    msc, spectral_embedding, spectral_embedding_partial, spectral_embedding_partial_warm,
+};
 pub use single_shot::single_shot;
 pub use traversing::traversing;

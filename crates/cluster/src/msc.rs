@@ -1,4 +1,4 @@
-use ncs_linalg::{lanczos_largest, CsrMatrix, DenseMatrix, GeneralizedEigen, Triplet};
+use ncs_linalg::{lanczos_largest_seeded, CsrMatrix, DenseMatrix, GeneralizedEigen, Triplet};
 use ncs_net::ConnectionMatrix;
 
 use crate::{kmeans, ClusterError, Clustering};
@@ -194,6 +194,35 @@ pub fn spectral_embedding_partial(
     k: usize,
     seed: u64,
 ) -> Result<DenseMatrix, ClusterError> {
+    spectral_embedding_partial_warm(net, k, seed, None)
+}
+
+/// [`spectral_embedding_partial`] with optional **warm-start directions**
+/// from a previous embedding of a similar network.
+///
+/// `warm` is a prior *embedding* matrix `u` (rows = neurons, columns =
+/// eigenvectors, as returned by this function). Since the embedding is the
+/// un-whitened eigenvector `u = D^{-1/2}·v`, each column is re-whitened
+/// against the *current* degree matrix (`v = D^{1/2}·u`, isolated neurons
+/// zeroed) before seeding the Lanczos Krylov basis — see
+/// [`lanczos_largest_seeded`](ncs_linalg::lanczos_largest_seeded). A warm
+/// matrix whose row count does not match `net` is silently ignored (the
+/// caller's network changed shape; a cold solve is the correct fallback).
+///
+/// The ISC loop uses this to carry each iteration's embedding into the
+/// next: connection removal perturbs the normalized Laplacian only
+/// mildly, so the previous Ritz vectors are near-invariant directions and
+/// the solver converges in far fewer effective iterations.
+///
+/// # Errors
+///
+/// Same as [`spectral_embedding_partial`].
+pub fn spectral_embedding_partial_warm(
+    net: &ConnectionMatrix,
+    k: usize,
+    seed: u64,
+    warm: Option<&DenseMatrix>,
+) -> Result<DenseMatrix, ClusterError> {
     let n = net.neurons();
     if k == 0 || k > n {
         return Err(ClusterError::InvalidClusterCount { k, points: n });
@@ -215,7 +244,21 @@ pub fn spectral_embedding_partial(
         .iter()
         .map(|&d| if d > 0.0 { 1.0 } else { 0.0 })
         .collect();
-    let (_, vectors) = lanczos_largest(
+    // Warm directions arrive in embedding space (u = D^{-1/2}·v); whiten
+    // them back into eigenvector space against the current degrees. A
+    // row-count mismatch means the network changed shape — drop the seed.
+    let whitened = warm.filter(|w| w.nrows() == n).map(|w| {
+        let mut v = DenseMatrix::zeros(n, w.ncols());
+        for c in 0..w.ncols() {
+            for i in 0..n {
+                if degrees[i] > 0.0 {
+                    v[(i, c)] = w[(i, c)] * degrees[i].sqrt();
+                }
+            }
+        }
+        v
+    });
+    let (_, vectors) = lanczos_largest_seeded(
         |x, y| {
             // Infallible by shape: w_norm is n×n and Lanczos hands us
             // length-n slices.
@@ -227,6 +270,7 @@ pub fn spectral_embedding_partial(
         n,
         k,
         seed,
+        whitened.as_ref(),
     )?;
     // Un-whiten: u = D^{-1/2} v, renormalized per column. Lanczos returns
     // columns in descending C order == ascending Laplacian order, which is
@@ -353,6 +397,45 @@ mod tests {
             "purity {}",
             correct as f64 / 120.0
         );
+    }
+
+    #[test]
+    fn warm_partial_embedding_recovers_clusters() {
+        // Seeding with an earlier embedding must not hurt cluster recovery.
+        let (net, truth) = generators::planted_clusters(120, 3, 0.5, 0.005, 13).unwrap();
+        let cold = spectral_embedding_partial(&net, 3, 7).unwrap();
+        let warm = spectral_embedding_partial_warm(&net, 3, 8, Some(&cold)).unwrap();
+        let result = crate::kmeans(&warm, 3, 7, 200).unwrap();
+        let c = Clustering::from_assignment(&result.assignment, 3);
+        let mut correct = 0;
+        for members in c.iter() {
+            let mut counts = [0usize; 3];
+            for &m in members {
+                counts[truth[m]] += 1;
+            }
+            correct += counts.iter().max().unwrap();
+        }
+        assert!(
+            correct as f64 / 120.0 > 0.9,
+            "purity {}",
+            correct as f64 / 120.0
+        );
+    }
+
+    #[test]
+    fn warm_embedding_with_wrong_shape_is_ignored() {
+        // A stale warm matrix from a different-size network falls back to
+        // the cold path instead of erroring — bit-identical to cold.
+        let (net, _) = generators::planted_clusters(80, 4, 0.5, 0.02, 3).unwrap();
+        let stale = DenseMatrix::zeros(60, 4);
+        let cold = spectral_embedding_partial(&net, 4, 9).unwrap();
+        let warm = spectral_embedding_partial_warm(&net, 4, 9, Some(&stale)).unwrap();
+        assert_eq!(cold.shape(), warm.shape());
+        for i in 0..80 {
+            for j in 0..4 {
+                assert_eq!(cold[(i, j)].to_bits(), warm[(i, j)].to_bits());
+            }
+        }
     }
 
     #[test]

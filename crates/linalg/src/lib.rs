@@ -47,6 +47,6 @@ pub mod vector;
 
 pub use eigen::{GeneralizedEigen, SymmetricEigen};
 pub use error::LinalgError;
-pub use lanczos::lanczos_largest;
+pub use lanczos::{lanczos_largest, lanczos_largest_seeded};
 pub use matrix::DenseMatrix;
 pub use sparse::{CsrMatrix, Triplet};

@@ -55,8 +55,8 @@ pub use anneal::{place_annealed, AnnealOptions};
 pub use cost::{CostWeights, PhysicalCost};
 pub use error::PhysError;
 pub use netlist::{Cell, CellId, Netlist, Wire, WireId};
-pub use place::{place, Placement, PlacerOptions};
-pub use route::{route, CongestionMap, RouterOptions, Routing};
+pub use place::{detailed_swap, detailed_swap_reference, place, Placement, PlacerOptions};
+pub use route::{route, CongestionMap, RouteAlgorithm, RouterOptions, Routing};
 
 use ncs_cluster::HybridMapping;
 use ncs_tech::TechnologyModel;

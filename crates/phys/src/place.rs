@@ -244,17 +244,267 @@ pub fn place(netlist: &Netlist, options: &PlacerOptions) -> Result<Placement, Ph
     Ok(placement)
 }
 
-/// Greedy detailed placement: exchange positions of same-footprint cells
-/// whenever the swap shortens the weighted HPWL of their incident wires.
-/// Identical footprints make every swap legality-preserving.
-fn detailed_swap(netlist: &Netlist, placement: &mut Placement, passes: usize) {
-    let n = netlist.cells.len();
-    let mut wires_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+/// Cells incident to each wire, and footprint groups of swappable cells,
+/// shared by both detailed-placement implementations. A BTreeMap keeps
+/// the group visit order a pure function of the netlist (footprints
+/// quantized to 1e-6 µm) — hash iteration order would leak into the swap
+/// sequence and break bit-identical placement.
+#[allow(clippy::type_complexity)]
+fn swap_structures(
+    netlist: &Netlist,
+) -> (
+    Vec<Vec<usize>>,
+    std::collections::BTreeMap<(u64, u64), Vec<usize>>,
+) {
+    let mut wires_of: Vec<Vec<usize>> = vec![Vec::new(); netlist.cells.len()];
     for w in &netlist.wires {
         for &p in &w.pins {
             wires_of[p].push(w.id);
         }
     }
+    let mut groups: std::collections::BTreeMap<(u64, u64), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for cell in &netlist.cells {
+        let key = (
+            (cell.dims.width * 1e6) as u64,
+            (cell.dims.height * 1e6) as u64,
+        );
+        groups.entry(key).or_default().push(cell.id);
+    }
+    (wires_of, groups)
+}
+
+/// Cached per-wire bounding box: per axis, the extrema, how many pins
+/// attain each, and the runner-up value (the extremum of the pins with
+/// one attaining occurrence removed). Together these make a candidate
+/// swap O(1) per touched wire: when the moving pin is not the unique
+/// extremum the new extent follows from the extrema alone, and when it
+/// is — the case that would otherwise force a rescan — the cached
+/// runner-up takes over. Every cached value is an exact selection from
+/// the pin coordinates, so incremental results are numerically identical
+/// to full recomputation. Wires with duplicated pins (two coordinates
+/// moving at once) still defer to the exact-rescan fallback.
+#[derive(Clone, Copy)]
+struct AxisBox {
+    min: f64,
+    max: f64,
+    /// Pins attaining min / max.
+    n_min: u32,
+    n_max: u32,
+    /// Second-smallest / second-largest pin value (multiplicity aware).
+    min2: f64,
+    max2: f64,
+}
+
+impl AxisBox {
+    fn build(pins: &[CellId], coord: &[f64]) -> AxisBox {
+        let (mut m1, mut m2) = (f64::INFINITY, f64::INFINITY);
+        let (mut h1, mut h2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &p in pins {
+            let v = coord[p];
+            if v < m1 {
+                m2 = m1;
+                m1 = v;
+            } else {
+                m2 = m2.min(v);
+            }
+            if v > h1 {
+                h2 = h1;
+                h1 = v;
+            } else {
+                h2 = h2.max(v);
+            }
+        }
+        // Extrema are exact selections from the pin coordinates, so
+        // equality identifies attainment exactly.
+        let mut n_min = 0;
+        let mut n_max = 0;
+        for &p in pins {
+            n_min += u32::from(coord[p] == m1);
+            n_max += u32::from(coord[p] == h1);
+        }
+        AxisBox {
+            min: m1,
+            max: h1,
+            n_min,
+            n_max,
+            min2: m2,
+            max2: h2,
+        }
+    }
+
+    /// Extent after a single pin moves from `u` to `v`. `u <= min` can
+    /// only hold with equality (min is the exact minimum over the pins,
+    /// u among them), i.e. it tests attainment; when the sole attainer
+    /// departs inward, the runner-up is the surviving minimum.
+    fn moved_extent(&self, u: f64, v: f64) -> f64 {
+        let lo = if u <= self.min && self.n_min == 1 {
+            self.min2.min(v)
+        } else {
+            self.min.min(v)
+        };
+        let hi = if u >= self.max && self.n_max == 1 {
+            self.max2.max(v)
+        } else {
+            self.max.max(v)
+        };
+        hi - lo
+    }
+}
+
+#[derive(Clone, Copy)]
+struct WireBox {
+    x: AxisBox,
+    y: AxisBox,
+}
+
+impl WireBox {
+    fn build(pins: &[CellId], xs: &[f64], ys: &[f64]) -> WireBox {
+        WireBox {
+            x: AxisBox::build(pins, xs),
+            y: AxisBox::build(pins, ys),
+        }
+    }
+
+    fn hpwl(&self, weight: f64) -> f64 {
+        weight * ((self.x.max - self.x.min) + (self.y.max - self.y.min))
+    }
+
+    /// Weighted HPWL after the pin at `(ux, uy)` moves to `(vx, vy)`.
+    fn moved_hpwl(&self, weight: f64, ux: f64, uy: f64, vx: f64, vy: f64) -> f64 {
+        weight * (self.x.moved_extent(ux, vx) + self.y.moved_extent(uy, vy))
+    }
+}
+
+/// Greedy detailed placement: exchange positions of same-footprint cells
+/// whenever the swap shortens the weighted HPWL of their incident wires.
+/// Identical footprints make every swap legality-preserving.
+///
+/// Candidate evaluation is **incremental**: per-wire bounding boxes,
+/// extremum-attainment counts, and runner-up extrema are cached, so
+/// scoring a swap costs O(1) per touched wire instead of a full pin
+/// scan. When a moved pin was the unique extremum of its wire, the
+/// cached runner-up supplies the surviving extremum; wires the cache
+/// cannot describe (duplicated pins move two coordinates at once) take
+/// an exact-rescan fallback. Accepted swaps rebuild the caches of the
+/// touched wires. Every evaluated quantity is numerically identical to
+/// full recomputation (extrema are exact selections and the per-wire
+/// summation order matches [`detailed_swap_reference`]), so the
+/// accept/reject sequence — and therefore the final placement, bit for
+/// bit — cannot diverge from the reference; the determinism suite pins
+/// this.
+pub fn detailed_swap(netlist: &Netlist, placement: &mut Placement, passes: usize) {
+    let (wires_of, groups) = swap_structures(netlist);
+    let mut boxes: Vec<WireBox> = netlist
+        .wires
+        .iter()
+        .map(|w| WireBox::build(&w.pins, &placement.x, &placement.y))
+        .collect();
+    // Wires with duplicated pins would move two coordinates per swap;
+    // they always take the exact-rescan path (netlist generators never
+    // emit them, but hand-built test wires can).
+    let has_dup: Vec<bool> = netlist
+        .wires
+        .iter()
+        .map(|w| {
+            let mut pins = w.pins.clone();
+            pins.sort_unstable();
+            pins.windows(2).any(|p| p[0] == p[1])
+        })
+        .collect();
+    // Weighted HPWL of wire `wid` with cells a and b exchanged — the
+    // exact fallback, equivalent to recomputing after the swap.
+    let swapped_hpwl = |wid: usize, a: usize, b: usize, xs: &[f64], ys: &[f64]| -> f64 {
+        let w = &netlist.wires[wid];
+        let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+        let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &p in &w.pins {
+            let q = if p == a {
+                b
+            } else if p == b {
+                a
+            } else {
+                p
+            };
+            x0 = x0.min(xs[q]);
+            x1 = x1.max(xs[q]);
+            y0 = y0.min(ys[q]);
+            y1 = y1.max(ys[q]);
+        }
+        w.weight * ((x1 - x0) + (y1 - y0))
+    };
+    let mut incremental_hits = 0u64;
+    let mut exact_fallbacks = 0u64;
+    for _ in 0..passes {
+        let mut improved = false;
+        for members in groups.values() {
+            for (ai, &a) in members.iter().enumerate() {
+                for &b in &members[ai + 1..] {
+                    let (xa, ya) = (placement.x[a], placement.y[a]);
+                    let (xb, yb) = (placement.x[b], placement.y[b]);
+                    // Sum `before` and `after` over wires_of[a] then
+                    // wires_of[b] — the same order (including the double
+                    // count of shared wires) as the reference's chained
+                    // sums, so both sums carry identical rounding.
+                    let mut before = 0.0;
+                    let mut after = 0.0;
+                    for mover_is_a in [true, false] {
+                        let (list, other) = if mover_is_a {
+                            (&wires_of[a], &wires_of[b])
+                        } else {
+                            (&wires_of[b], &wires_of[a])
+                        };
+                        for &wid in list {
+                            let weight = netlist.wires[wid].weight;
+                            before += boxes[wid].hpwl(weight);
+                            after += if has_dup[wid] {
+                                exact_fallbacks += 1;
+                                swapped_hpwl(wid, a, b, &placement.x, &placement.y)
+                            } else if other.binary_search(&wid).is_ok() {
+                                // A wire pinned to both cells sees its
+                                // coordinate multiset unchanged.
+                                incremental_hits += 1;
+                                boxes[wid].hpwl(weight)
+                            } else {
+                                let (ux, uy, vx, vy) = if mover_is_a {
+                                    (xa, ya, xb, yb)
+                                } else {
+                                    (xb, yb, xa, ya)
+                                };
+                                incremental_hits += 1;
+                                boxes[wid].moved_hpwl(weight, ux, uy, vx, vy)
+                            };
+                        }
+                    }
+                    if after + 1e-12 < before {
+                        improved = true;
+                        placement.x.swap(a, b);
+                        placement.y.swap(a, b);
+                        for &wid in wires_of[a].iter().chain(&wires_of[b]) {
+                            boxes[wid] = WireBox::build(
+                                &netlist.wires[wid].pins,
+                                &placement.x,
+                                &placement.y,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    ncs_trace::add("place.incremental_hits", incremental_hits);
+    ncs_trace::add("place.exact_fallbacks", exact_fallbacks);
+}
+
+/// Reference implementation of [`detailed_swap`]: identical swap order
+/// and accept rule, but every candidate is scored by fully recomputing
+/// the HPWL of the touched wires. Kept for the equivalence tests and the
+/// `bench place` regression gate.
+pub fn detailed_swap_reference(netlist: &Netlist, placement: &mut Placement, passes: usize) {
+    let (wires_of, groups) = swap_structures(netlist);
     let hpwl = |wid: usize, xs: &[f64], ys: &[f64]| -> f64 {
         let w = &netlist.wires[wid];
         let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
@@ -267,19 +517,6 @@ fn detailed_swap(netlist: &Netlist, placement: &mut Placement, passes: usize) {
         }
         w.weight * ((x1 - x0) + (y1 - y0))
     };
-    // Group swappable cells by footprint (quantized to 1e-6 um). A
-    // BTreeMap keeps the group visit order a pure function of the
-    // netlist — hash iteration order would leak into the swap sequence
-    // and break bit-identical placement.
-    let mut groups: std::collections::BTreeMap<(u64, u64), Vec<usize>> =
-        std::collections::BTreeMap::new();
-    for cell in &netlist.cells {
-        let key = (
-            (cell.dims.width * 1e6) as u64,
-            (cell.dims.height * 1e6) as u64,
-        );
-        groups.entry(key).or_default().push(cell.id);
-    }
     for _ in 0..passes {
         let mut improved = false;
         for members in groups.values() {
@@ -1134,5 +1371,156 @@ mod tests {
         let (x0, y0, x1, y1) = p.bounding_box(&nl);
         assert!(x0 >= -1e-9 && y0 >= -1e-9);
         assert!((x1 - x0) > 0.0 && (y1 - y0) > 0.0);
+    }
+
+    /// A pseudo-random mapping with several same-size crossbars (so the
+    /// swap groups are non-trivial) and discrete synapses.
+    fn swap_heavy_netlist(seed: u64, shared: bool) -> Netlist {
+        let mut state = seed | 1;
+        let mut next = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as usize) % m
+        };
+        let neurons = 40;
+        let mut xbars = Vec::new();
+        for b in 0..4 {
+            let members: Vec<usize> = (0..6).map(|i| (b * 6 + i) % neurons).collect();
+            let conns: Vec<(usize, usize)> = (0..8)
+                .map(|_| (members[next(6)], members[next(6)]))
+                .collect();
+            xbars.push(CrossbarAssignment::new(members.clone(), members, 16, conns));
+        }
+        let outliers: Vec<(usize, usize)> = (0..30)
+            .map(|_| (next(neurons), next(neurons)))
+            .filter(|&(f, t)| f != t)
+            .collect();
+        let mapping = HybridMapping::new(neurons, xbars, outliers);
+        if shared {
+            Netlist::from_mapping_shared(&mapping, &TechnologyModel::nm45())
+        } else {
+            Netlist::from_mapping(&mapping, &TechnologyModel::nm45())
+        }
+    }
+
+    #[test]
+    fn incremental_swap_matches_reference_bit_for_bit() {
+        // The incremental evaluator must reproduce the reference's
+        // accept/reject sequence exactly, so the refined placements agree
+        // to the last bit — on 2-pin netlists, genuine multi-pin shared
+        // nets, and across several seeds.
+        for seed in [3u64, 11, 42] {
+            for shared in [false, true] {
+                let nl = swap_heavy_netlist(seed, shared);
+                let base = place(&nl, &PlacerOptions::fast()).unwrap();
+                let mut fast = base.clone();
+                detailed_swap(&nl, &mut fast, 6);
+                let mut slow = base.clone();
+                detailed_swap_reference(&nl, &mut slow, 6);
+                let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<u64>>();
+                assert_eq!(
+                    bits(&fast.x),
+                    bits(&slow.x),
+                    "x diverged (seed {seed}, shared {shared})"
+                );
+                assert_eq!(
+                    bits(&fast.y),
+                    bits(&slow.y),
+                    "y diverged (seed {seed}, shared {shared})"
+                );
+                assert!(
+                    fast.weighted_hpwl(&nl) <= base.weighted_hpwl(&nl) + 1e-9,
+                    "refinement must not worsen HPWL"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_swap_handles_duplicate_pins() {
+        // Hand-built wire with a duplicated pin: the incremental path
+        // must defer to the exact rescan and still match the reference.
+        let mut nl = swap_heavy_netlist(7, false);
+        let id = nl.wires.len();
+        nl.wires.push(crate::Wire {
+            id,
+            pins: vec![0, 1, 1, 2],
+            weight: 2.0,
+        });
+        let base = place(&nl, &PlacerOptions::fast()).unwrap();
+        let mut fast = base.clone();
+        detailed_swap(&nl, &mut fast, 4);
+        let mut slow = base;
+        detailed_swap_reference(&nl, &mut slow, 4);
+        assert_eq!(fast, slow, "duplicate-pin wire broke the equivalence");
+    }
+
+    #[test]
+    fn incremental_swap_uses_both_paths() {
+        // The speedup claim rests on the O(1) path handling every
+        // duplicate-free wire while the exact fallback covers the rest;
+        // check both paths fire where they should.
+        let counters = |nl: &Netlist| {
+            let base = place(nl, &PlacerOptions::fast()).unwrap();
+            let (_, events) = ncs_trace::capture(|| {
+                let mut p = base.clone();
+                detailed_swap(nl, &mut p, 6);
+            });
+            let report = ncs_trace::TraceReport::from_events(&events);
+            let total = |name: &str| {
+                report
+                    .counters
+                    .iter()
+                    .find(|c| c.name == name)
+                    .map_or(0, |c| c.total)
+            };
+            (
+                total("place.incremental_hits"),
+                total("place.exact_fallbacks"),
+            )
+        };
+        let clean = swap_heavy_netlist(5, true);
+        let (hits, fallbacks) = counters(&clean);
+        assert!(hits > 0, "incremental path never used");
+        assert_eq!(
+            fallbacks, 0,
+            "duplicate-free wires must never need the rescan fallback"
+        );
+        let mut dup = swap_heavy_netlist(5, false);
+        let id = dup.wires.len();
+        dup.wires.push(crate::Wire {
+            id,
+            pins: vec![0, 0, 1],
+            weight: 1.0,
+        });
+        let (hits, fallbacks) = counters(&dup);
+        assert!(hits > 0);
+        assert!(fallbacks > 0, "duplicate-pin wires must take the fallback");
+    }
+
+    #[test]
+    fn wire_box_moved_extent_agrees_with_rescan() {
+        // Exhaustive micro-check of the cache math: every combination of
+        // attainment multiplicity (unique extremum, tied extremum, interior
+        // pin) and move direction must match a full rescan bit-for-bit —
+        // the runner-up cache makes the O(1) path complete.
+        let coords = [1.0, 2.0, 2.0, 5.0];
+        let pins: Vec<usize> = (0..coords.len()).collect();
+        for u_idx in 0..coords.len() {
+            for v in [0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 6.0] {
+                let xs = coords.to_vec();
+                let b = AxisBox::build(&pins, &xs);
+                let extent = b.moved_extent(coords[u_idx], v);
+                let mut moved = xs.clone();
+                moved[u_idx] = v;
+                let lo = moved.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = moved.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(
+                    extent.to_bits(),
+                    (hi - lo).to_bits(),
+                    "u={} v={v}",
+                    coords[u_idx]
+                );
+            }
+        }
     }
 }

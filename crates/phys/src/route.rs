@@ -1,3 +1,4 @@
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
@@ -10,6 +11,11 @@ use crate::{CellId, Netlist, PhysError, Placement, WireId};
 /// with it every routing decision, is identical at any `NCS_THREADS`.
 const ROUTE_BATCH: usize = 8;
 
+/// Initial bounding-box margin (in bins) of the windowed A* search. The
+/// window doubles on every expansion, so the start value only trades the
+/// cost of the first search against the odds of a second one.
+const WINDOW_MARGIN: usize = 4;
+
 /// Private usage overlay for speculative routing: extra traversals per
 /// grid edge, keyed by `(owning bin index, horizontal)`, layered on top
 /// of a frozen congestion snapshot.
@@ -17,6 +23,21 @@ type EdgeOverlay = BTreeMap<(usize, bool), usize>;
 
 /// A speculatively planned wire: one bin path per MST segment.
 type SegPaths = Vec<Vec<(usize, usize)>>;
+
+/// Which search backs every maze-routed segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteAlgorithm {
+    /// A* with the admissible Manhattan heuristic inside an expanding
+    /// bounding-box window (the default). Produces the same paths as
+    /// [`RouteAlgorithm::DijkstraReference`], bit for bit — the window
+    /// only commits a result when it can prove no escape path beats it,
+    /// and both searches reconstruct the canonical optimal path.
+    #[default]
+    AStarWindow,
+    /// Full-grid Dijkstra, kept as the reference implementation for the
+    /// equivalence tests and the `bench route` regression gate.
+    DijkstraReference,
+}
 
 /// Options for the global router.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +54,8 @@ pub struct RouterOptions {
     /// Maximum capacity-relaxation rounds before reporting
     /// [`PhysError::Unroutable`].
     pub max_relaxations: usize,
+    /// Shortest-path search backing every routed segment.
+    pub algorithm: RouteAlgorithm,
 }
 
 impl Default for RouterOptions {
@@ -42,6 +65,7 @@ impl Default for RouterOptions {
             virtual_capacity: 8,
             congestion_penalty: 2.0,
             max_relaxations: 16,
+            algorithm: RouteAlgorithm::default(),
         }
     }
 }
@@ -93,11 +117,17 @@ impl CongestionMap {
 
     /// Mean bin usage over non-empty bins.
     pub fn mean_nonzero_usage(&self) -> f64 {
-        let nz: Vec<usize> = self.usage.iter().copied().filter(|&u| u > 0).collect();
-        if nz.is_empty() {
+        let (mut sum, mut count) = (0usize, 0usize);
+        for &u in &self.usage {
+            if u > 0 {
+                sum += u;
+                count += 1;
+            }
+        }
+        if count == 0 {
             0.0
         } else {
-            nz.iter().sum::<usize>() as f64 / nz.len() as f64
+            sum as f64 / count as f64
         }
     }
 }
@@ -179,7 +209,9 @@ pub fn route(
     };
 
     // Routing order: distance from the center of gravity to the closest
-    // pin, ties broken by descending wire weight.
+    // pin, ties broken by descending wire weight. Squared distances sort
+    // identically (x ↦ x² is monotone on non-negative reals), so the
+    // sqrt per pin is skipped; the determinism suite pins the order.
     let cg_x: f64 = placement.x.iter().sum::<f64>() / placement.x.len() as f64;
     let cg_y: f64 = placement.y.iter().sum::<f64>() / placement.y.len() as f64;
     let mut order: Vec<WireId> = (0..netlist.wires.len()).collect();
@@ -192,7 +224,7 @@ pub fn route(
                 .map(|&p| {
                     let dx = placement.x[p] - cg_x;
                     let dy = placement.y[p] - cg_y;
-                    (dx * dx + dy * dy).sqrt()
+                    dx * dx + dy * dy
                 })
                 .fold(f64::INFINITY, f64::min)
         })
@@ -209,6 +241,7 @@ pub fn route(
     let mut pending: Vec<WireId> = order;
     let mut capacity = options.virtual_capacity;
     let mut relaxations = 0;
+    let mut window_expansions = 0u64;
 
     loop {
         let mut failed = Vec::new();
@@ -231,10 +264,11 @@ pub fn route(
             // private overlay so a multi-pin net respects the congestion
             // it would itself create. `None` means a segment found no
             // capacity-respecting path even on the frozen grid.
-            let plans: Vec<Option<SegPaths>> = ncs_par::par_map(&batch, 1, |_, &wid| {
+            let plans: Vec<(Option<SegPaths>, u64)> = ncs_par::par_map(&batch, 1, |_, &wid| {
                 let wire = &netlist.wires[wid];
                 let mut overlay = EdgeOverlay::new();
                 let mut seg_paths = Vec::new();
+                let mut expansions = 0u64;
                 for seg in mst_segments(&wire.pins, placement) {
                     let path = grid_ref.shortest_path(
                         bin_ref(seg.0),
@@ -242,17 +276,26 @@ pub fn route(
                         capacity,
                         options.congestion_penalty,
                         &overlay,
-                    )?;
+                        options.algorithm,
+                        &mut expansions,
+                    );
+                    let Some(path) = path else {
+                        return (None, expansions);
+                    };
                     grid_ref.accumulate(&path, &mut overlay);
                     seg_paths.push(path);
                 }
-                Some(seg_paths)
+                (Some(seg_paths), expansions)
             });
             // Commit phase: strictly in batch order. The first plannable
             // wire of every batch commits (its plan was validated against
             // the exact grid it re-validates on), so each batch makes
             // progress and the same-capacity retry queue always drains.
-            for (&wid, plan) in batch.iter().zip(plans) {
+            // Window-expansion tallies from the (possibly parallel)
+            // planning phase are summed here on the serial control path,
+            // where the trace layer requires counters to be emitted.
+            for (&wid, (plan, expansions)) in batch.iter().zip(plans) {
+                window_expansions += expansions;
                 match plan {
                     None => failed.push(wid),
                     Some(seg_paths) => {
@@ -303,6 +346,7 @@ pub fn route(
             relaxations,
         });
     }
+    ncs_trace::add("route.window_expansions", window_expansions);
     ncs_trace::record("route.relaxations", relaxations as u64);
     let routed: Vec<RoutedWire> = routed.into_iter().flatten().collect();
     let total = routed.iter().map(|r| r.length_um).sum();
@@ -368,8 +412,69 @@ fn mst_segments(pins: &[CellId], placement: &Placement) -> Vec<(CellId, CellId)>
     segments
 }
 
+/// Persistent per-worker scratch for the maze search. The arrays cover
+/// the full grid but are *epoch-stamped*: bumping `epoch` invalidates
+/// every entry in O(1), so no per-segment reallocation or clearing ever
+/// happens — a node's `dist`/`closed` state is only meaningful where
+/// `stamp[node] == epoch`. One arena lives in a thread-local and is
+/// reused across segments, wires, batches, and `route()` calls; it grows
+/// monotonically to the largest grid seen by its thread.
+struct RouteScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<f64>,
+    closed: Vec<bool>,
+    heap: BinaryHeap<HeapNode>,
+}
+
+impl RouteScratch {
+    fn new() -> Self {
+        RouteScratch {
+            epoch: 0,
+            stamp: Vec::new(),
+            dist: Vec::new(),
+            closed: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Starts a fresh search over a grid of `n` bins: grows the arrays if
+    /// this thread has never seen a grid this large, then invalidates all
+    /// previous state by bumping the epoch (wrap-around resets stamps).
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, f64::INFINITY);
+            self.closed.resize(n, false);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.heap.clear();
+    }
+
+    fn is_set(&self, node: usize) -> bool {
+        self.stamp[node] == self.epoch
+    }
+
+    fn set_dist(&mut self, node: usize, d: f64) {
+        self.stamp[node] = self.epoch;
+        self.dist[node] = d;
+        self.closed[node] = false;
+    }
+}
+
+thread_local! {
+    static ROUTE_SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::new());
+}
+
 /// The routing grid: horizontal/vertical edge usage counters plus a
-/// Dijkstra that respects capacities.
+/// capacity-respecting shortest-path search (windowed A* by default,
+/// full-grid Dijkstra as the reference).
 struct Grid {
     cols: usize,
     rows: usize,
@@ -378,6 +483,9 @@ struct Grid {
     /// Usage of the edge above each bin.
     v_use: Vec<usize>,
 }
+
+/// Inclusive bin window `(c0, r0, c1, r1)` a search is confined to.
+type Window = (usize, usize, usize, usize);
 
 impl Grid {
     fn new(cols: usize, rows: usize) -> Self {
@@ -393,15 +501,296 @@ impl Grid {
         r * self.cols + c
     }
 
-    /// Capacity-aware shortest path from `src` to `dst`. Edges at or over
-    /// the virtual capacity are **unusable** (the FastRoute-style hard
-    /// limit); edges below it cost `1 + penalty · usage / capacity` so
-    /// wires spread away from congested regions. Effective edge usage is
-    /// the grid counter plus the caller's `overlay` — the private
-    /// traversals a speculatively routed wire has already planned (pass
-    /// an empty map to route against the grid alone). Returns `None` when
-    /// no capacity-respecting path exists — the caller then relaxes the
+    /// Cost of traversing the usable edge `(eidx, horizontal)`, or `None`
+    /// when the edge is at or over the virtual capacity (the
+    /// FastRoute-style hard limit). Usable edges cost
+    /// `1 + penalty · usage / capacity` so wires spread away from
+    /// congested regions; effective usage is the grid counter plus the
+    /// caller's private `overlay`.
+    #[inline]
+    fn edge_cost(
+        &self,
+        eidx: usize,
+        horizontal: bool,
+        capacity: usize,
+        penalty: f64,
+        overlay: &EdgeOverlay,
+    ) -> Option<f64> {
+        let base = if horizontal {
+            self.h_use[eidx]
+        } else {
+            self.v_use[eidx]
+        };
+        let usage = base + overlay.get(&(eidx, horizontal)).copied().unwrap_or(0);
+        if usage >= capacity {
+            return None;
+        }
+        Some(1.0 + penalty * usage as f64 / capacity as f64)
+    }
+
+    /// True when every grid edge incident to `node` is saturated at the
+    /// current capacity: the node can neither reach nor be reached by any
+    /// other node, so a search touching it is pointless.
+    fn pin_sealed(
+        &self,
+        node: usize,
+        capacity: usize,
+        penalty: f64,
+        overlay: &EdgeOverlay,
+    ) -> bool {
+        let c = node % self.cols;
+        let r = node / self.cols;
+        (c + 1 >= self.cols
+            || self
+                .edge_cost(node, true, capacity, penalty, overlay)
+                .is_none())
+            && (c == 0
+                || self
+                    .edge_cost(node - 1, true, capacity, penalty, overlay)
+                    .is_none())
+            && (r + 1 >= self.rows
+                || self
+                    .edge_cost(node, false, capacity, penalty, overlay)
+                    .is_none())
+            && (r == 0
+                || self
+                    .edge_cost(node - self.cols, false, capacity, penalty, overlay)
+                    .is_none())
+    }
+
+    /// The four candidate moves out of `node`, clipped to `window`, each
+    /// carrying its edge key (index of the owning bin + horizontal flag)
+    /// and destination node. The order — +x, −x, +y, −y — is fixed; the
+    /// canonical path reconstruction relies on it.
+    #[inline]
+    fn moves(&self, node: usize, window: Window) -> ([(usize, usize, bool); 4], usize) {
+        let (c0, r0, c1, r1) = window;
+        let c = node % self.cols;
+        let r = node / self.cols;
+        let mut out = [(0usize, 0usize, false); 4];
+        let mut count = 0;
+        if c < c1 {
+            out[count] = (node + 1, node, true);
+            count += 1;
+        }
+        if c > c0 {
+            out[count] = (node - 1, node - 1, true);
+            count += 1;
+        }
+        if r < r1 {
+            out[count] = (node + self.cols, node, false);
+            count += 1;
+        }
+        if r > r0 {
+            out[count] = (node - self.cols, node - self.cols, false);
+            count += 1;
+        }
+        (out, count)
+    }
+
+    /// Settles the shortest-path tree from `start` towards `goal` inside
+    /// `window`, writing `dist`/`closed` into `scratch`. With
+    /// `heuristic = true` this is A* under the admissible and consistent
+    /// Manhattan heuristic (every edge costs at least 1); with `false` it
+    /// is plain Dijkstra. Either way the loop does **not** stop at the
+    /// first goal pop: it keeps draining until the heap's best f-value
+    /// exceeds the goal cost (plus a relative-rounding slack), so every
+    /// node that could sit on *any* optimal path is settled with its
+    /// final distance. That drain is what lets
+    /// [`Grid::canonical_path`] reconstruct the same optimal path
+    /// regardless of which search produced the tree.
+    ///
+    /// Returns `(goal cost, escape bound)`: the goal cost is `None` when
+    /// the goal is unreachable within the window, and the escape bound is
+    /// the cheapest conceivable cost of any path that *leaves* the window
+    /// — for every settled node with a usable edge crossing the window
+    /// boundary, `dist + crossing edge + Manhattan-from-outside` is a
+    /// lower bound on every path escaping there first, and paths escaping
+    /// through unsettled nodes are already costlier than the goal.
+    /// `f64::INFINITY` when no usable edge leaves the window (in
+    /// particular whenever the window covers the whole grid).
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &self,
+        scratch: &mut RouteScratch,
+        start: usize,
+        goal: usize,
+        capacity: usize,
+        penalty: f64,
+        overlay: &EdgeOverlay,
+        window: Window,
+        heuristic: bool,
+    ) -> (Option<f64>, f64) {
+        scratch.begin(self.cols * self.rows);
+        let (gc, gr) = (goal % self.cols, goal / self.cols);
+        let h = |node: usize| -> f64 {
+            if heuristic {
+                let c = node % self.cols;
+                let r = node / self.cols;
+                (c.abs_diff(gc) + r.abs_diff(gr)) as f64
+            } else {
+                0.0
+            }
+        };
+        let (c0, r0, c1, r1) = window;
+        scratch.set_dist(start, 0.0);
+        scratch.heap.push(HeapNode {
+            cost: h(start),
+            node: start,
+        });
+        let mut best: Option<f64> = None;
+        let mut escape_min = f64::INFINITY;
+        while let Some(HeapNode { cost, node }) = scratch.heap.pop() {
+            if let Some(g_star) = best {
+                // Goal settled: keep settling ties (nodes whose f equals
+                // the optimum, up to summation rounding), then stop.
+                if cost > g_star + 1e-9 * (1.0 + g_star) {
+                    break;
+                }
+            }
+            if scratch.closed[node] {
+                continue;
+            }
+            scratch.closed[node] = true;
+            if node == goal {
+                best = Some(scratch.dist[node]);
+                continue;
+            }
+            let g = scratch.dist[node];
+            let c = node % self.cols;
+            let r = node / self.cols;
+            // In-grid moves in the fixed +x, −x, +y, −y order; `inside`
+            // marks the ones that stay within the window. Expanded nodes
+            // are always inside, so a move is outside exactly when it
+            // crosses the window boundary. Candidate coordinates ride
+            // along so the heuristic needs no divisions on this hot path.
+            let mut cand = [(0usize, 0usize, 0usize, 0usize, false, false); 4];
+            let mut count = 0;
+            if c + 1 < self.cols {
+                cand[count] = (node + 1, c + 1, r, node, true, c < c1);
+                count += 1;
+            }
+            if c > 0 {
+                cand[count] = (node - 1, c - 1, r, node - 1, true, c > c0);
+                count += 1;
+            }
+            if r + 1 < self.rows {
+                cand[count] = (node + self.cols, c, r + 1, node, false, r < r1);
+                count += 1;
+            }
+            if r > 0 {
+                cand[count] = (node - self.cols, c, r - 1, node - self.cols, false, r > r0);
+                count += 1;
+            }
+            for &(nn, nc, nr, eidx, horizontal, inside) in &cand[..count] {
+                let Some(edge) = self.edge_cost(eidx, horizontal, capacity, penalty, overlay)
+                else {
+                    continue;
+                };
+                let hn = if heuristic {
+                    (nc.abs_diff(gc) + nr.abs_diff(gr)) as f64
+                } else {
+                    0.0
+                };
+                if !inside {
+                    // Any path escaping the window here first pays its way
+                    // to this node, then the crossing edge, then at least
+                    // the Manhattan distance back to the goal.
+                    let esc = g + edge + hn;
+                    if esc < escape_min {
+                        escape_min = esc;
+                    }
+                    continue;
+                }
+                let nd = g + edge;
+                if !scratch.is_set(nn) || nd < scratch.dist[nn] {
+                    scratch.set_dist(nn, nd);
+                    scratch.heap.push(HeapNode {
+                        cost: nd + hn,
+                        node: nn,
+                    });
+                }
+            }
+        }
+        (best, escape_min)
+    }
+
+    /// Reconstructs the canonical optimal path from a settled search
+    /// tree: walk backwards from the goal, at each node taking the first
+    /// settled neighbor (in the fixed [`Grid::moves`] order) that
+    /// minimizes `dist[u] + edge_cost(u, v)`. Optimal predecessors are
+    /// exactly the minimizers (the minimum equals `dist[v]`), and the
+    /// drain in [`Grid::search`] guarantees both A* and Dijkstra settle
+    /// every optimal predecessor with identical final distances — so the
+    /// reconstructed path is a pure function of the grid state, not of
+    /// which search ran or in what order it settled nodes.
+    #[allow(clippy::too_many_arguments)]
+    fn canonical_path(
+        &self,
+        scratch: &RouteScratch,
+        start: usize,
+        goal: usize,
+        capacity: usize,
+        penalty: f64,
+        overlay: &EdgeOverlay,
+        window: Window,
+    ) -> Option<Vec<(usize, usize)>> {
+        let mut path = vec![(goal % self.cols, goal / self.cols)];
+        let mut node = goal;
+        // Every backward step strictly decreases dist (edges cost ≥ 1),
+        // so the walk reaches the start in at most `bins` steps; the
+        // bound is a defensive guard, not a reachable state.
+        for _ in 0..self.cols * self.rows {
+            if node == start {
+                path.reverse();
+                return Some(path);
+            }
+            let mut pick: Option<(f64, usize)> = None;
+            let (moves, count) = self.moves(node, window);
+            for &(u, eidx, horizontal) in &moves[..count] {
+                if !scratch.is_set(u) || !scratch.closed[u] {
+                    continue;
+                }
+                let Some(edge) = self.edge_cost(eidx, horizontal, capacity, penalty, overlay)
+                else {
+                    continue;
+                };
+                let through = scratch.dist[u] + edge;
+                // Strict improvement only: ties keep the earlier
+                // neighbor, making the fixed move order the tiebreak.
+                if pick.is_none_or(|(best, _)| through < best) {
+                    pick = Some((through, u));
+                }
+            }
+            let (_, u) = pick?;
+            path.push((u % self.cols, u / self.cols));
+            node = u;
+        }
+        None
+    }
+
+    /// Capacity-aware shortest path from `src` to `dst` (see
+    /// [`Grid::edge_cost`] for the cost model). Returns `None` when no
+    /// capacity-respecting path exists — the caller then relaxes the
     /// virtual capacity and reroutes, per Section 3.5.
+    ///
+    /// With [`RouteAlgorithm::AStarWindow`] the search runs inside an
+    /// expanding bounding-box window: start at the segment bbox plus
+    /// [`WINDOW_MARGIN`] bins, and accept a windowed result only when its
+    /// cost beats the escape bound [`Grid::search`] collects — the
+    /// cheapest conceivable cost of any path leaving the window (settled
+    /// distance to a boundary exit, plus the crossing edge, plus the
+    /// admissible Manhattan bound home). A windowed cost strictly below
+    /// that bound (minus a relative-rounding slack) is provably the
+    /// global optimum *and* every globally-optimal path lies inside the
+    /// window, so the canonical reconstruction matches the full-grid
+    /// search bit for bit. Otherwise the margin doubles (counted into
+    /// `expansions`) until the window covers the grid, so optimality is
+    /// always retained. Because the bound charges escapes their real
+    /// congestion-laden cost up to the boundary, uniformly congested
+    /// grids — where every path is expensive but detours are pointless —
+    /// accept the first window instead of widening to the full grid.
+    #[allow(clippy::too_many_arguments)]
     fn shortest_path(
         &self,
         src: (usize, usize),
@@ -409,88 +798,116 @@ impl Grid {
         capacity: usize,
         penalty: f64,
         overlay: &EdgeOverlay,
+        algorithm: RouteAlgorithm,
+        expansions: &mut u64,
     ) -> Option<Vec<(usize, usize)>> {
         if src == dst {
             return Some(vec![src]);
         }
-        let n = self.cols * self.rows;
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev = vec![usize::MAX; n];
         let start = self.idx(src.0, src.1);
         let goal = self.idx(dst.0, dst.1);
-        dist[start] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(HeapNode {
-            cost: 0.0,
-            node: start,
-        });
-        while let Some(HeapNode { cost, node }) = heap.pop() {
-            if node == goal {
-                break;
-            }
-            if cost > dist[node] {
-                continue;
-            }
-            let c = node % self.cols;
-            let r = node / self.cols;
-            // Each candidate move carries its edge key: the index of the
-            // bin owning the edge plus the horizontal/vertical flag.
-            let mut neighbors: [(isize, isize, usize, bool); 4] = [(0, 0, 0, false); 4];
-            let mut count = 0;
-            if c + 1 < self.cols {
-                neighbors[count] = (1, 0, node, true);
-                count += 1;
-            }
-            if c > 0 {
-                neighbors[count] = (-1, 0, node - 1, true);
-                count += 1;
-            }
-            if r + 1 < self.rows {
-                neighbors[count] = (0, 1, node, false);
-                count += 1;
-            }
-            if r > 0 {
-                neighbors[count] = (0, -1, node - self.cols, false);
-                count += 1;
-            }
-            for &(dc, dr, eidx, horizontal) in &neighbors[..count] {
-                let base = if horizontal {
-                    self.h_use[eidx]
-                } else {
-                    self.v_use[eidx]
-                };
-                let usage = base + overlay.get(&(eidx, horizontal)).copied().unwrap_or(0);
-                if usage >= capacity {
-                    continue;
+        let full: Window = (0, 0, self.cols - 1, self.rows - 1);
+        ROUTE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            match algorithm {
+                RouteAlgorithm::DijkstraReference => {
+                    self.search(
+                        scratch, start, goal, capacity, penalty, overlay, full, false,
+                    )
+                    .0?;
+                    self.canonical_path(scratch, start, goal, capacity, penalty, overlay, full)
                 }
-                let nc = (c as isize + dc) as usize;
-                let nr = (r as isize + dr) as usize;
-                let nn = self.idx(nc, nr);
-                let edge_cost = 1.0 + penalty * usage as f64 / capacity as f64;
-                let nd = cost + edge_cost;
-                if nd < dist[nn] {
-                    dist[nn] = nd;
-                    prev[nn] = node;
-                    heap.push(HeapNode { cost: nd, node: nn });
+                RouteAlgorithm::AStarWindow => {
+                    // O(1) unroutability check: a pin with every incident
+                    // edge saturated can neither reach nor be reached
+                    // (`src != dst` here), so skip the searches entirely.
+                    // Congested flows hit this constantly — without it a
+                    // sealed *goal* still costs a full exhaust of the
+                    // start's component. The reference arm stays a pure
+                    // full-grid Dijkstra.
+                    if self.pin_sealed(start, capacity, penalty, overlay)
+                        || self.pin_sealed(goal, capacity, penalty, overlay)
+                    {
+                        return None;
+                    }
+                    let (bc0, bc1) = (src.0.min(dst.0), src.0.max(dst.0));
+                    let (br0, br1) = (src.1.min(dst.1), src.1.max(dst.1));
+                    let mut margin = WINDOW_MARGIN;
+                    loop {
+                        let mut window: Window = (
+                            bc0.saturating_sub(margin),
+                            br0.saturating_sub(margin),
+                            (bc1 + margin).min(self.cols - 1),
+                            (br1 + margin).min(self.rows - 1),
+                        );
+                        // A window that already spans most of the grid
+                        // buys nothing over the conclusive full-grid
+                        // search but still risks paying for both (escape
+                        // rejections, unroutability probes) — snap it to
+                        // the whole grid instead.
+                        let area = (window.2 - window.0 + 1) * (window.3 - window.1 + 1);
+                        if 2 * area >= self.cols * self.rows {
+                            window = full;
+                        }
+                        let covers_grid = window == full;
+                        let (found, escape_min) = self.search(
+                            scratch, start, goal, capacity, penalty, overlay, window, true,
+                        );
+                        if covers_grid {
+                            // The window is the whole grid: the result —
+                            // path or proven unreachability — is final.
+                            found?;
+                            return self.canonical_path(
+                                scratch, start, goal, capacity, penalty, overlay, window,
+                            );
+                        }
+                        match found {
+                            // Strictly cheaper than every escaping path
+                            // (by more than summation rounding): the
+                            // windowed optimum is the global optimum.
+                            Some(cost) if cost < escape_min - 1e-6 * (1.0 + cost) => {
+                                return self.canonical_path(
+                                    scratch, start, goal, capacity, penalty, overlay, window,
+                                );
+                            }
+                            // An escape could be cheaper: the optimum is
+                            // nearby, so widen geometrically.
+                            Some(_) => {
+                                *expansions += 1;
+                                margin *= 2;
+                            }
+                            // The search exhausted the window without
+                            // reaching the goal *and* no usable edge
+                            // leaves the window: the start's reachable
+                            // component is sealed inside it, so the
+                            // segment is unroutable at this capacity on
+                            // the full grid too.
+                            None if escape_min.is_infinite() => return None,
+                            // No in-window path but the start's component
+                            // leaks out. Edge usability is symmetric, so
+                            // exhaust the goal's side on the full grid
+                            // instead: congested failures usually pocket
+                            // the goal pin behind saturated edges, making
+                            // its reachable component far smaller than
+                            // the start's. An unreached start is then a
+                            // proof of unroutability at this capacity;
+                            // otherwise a path does exist and one
+                            // conclusive full-grid forward search settles
+                            // it canonically — no doubling ladder either
+                            // way.
+                            None => {
+                                *expansions += 1;
+                                let (back, _) = self.search(
+                                    scratch, goal, start, capacity, penalty, overlay, full, true,
+                                );
+                                back?;
+                                margin = self.cols.max(self.rows);
+                            }
+                        }
+                    }
                 }
             }
-        }
-        if dist[goal].is_infinite() {
-            // Every capacity-respecting path is blocked; let the caller
-            // relax the virtual capacity.
-            return None;
-        }
-        let mut path = Vec::new();
-        let mut node = goal;
-        while node != usize::MAX {
-            path.push((node % self.cols, node / self.cols));
-            if node == start {
-                break;
-            }
-            node = prev[node];
-        }
-        path.reverse();
-        Some(path)
+        })
     }
 
     /// Commits a path, incrementing the usage of every traversed edge.
@@ -763,12 +1180,24 @@ mod tests {
         assert!(mst_segments(&[7], &placement).is_empty());
     }
 
+    fn astar_path(grid: &Grid, src: (usize, usize), dst: (usize, usize)) -> Vec<(usize, usize)> {
+        let mut exp = 0;
+        grid.shortest_path(
+            src,
+            dst,
+            8,
+            2.0,
+            &EdgeOverlay::new(),
+            RouteAlgorithm::AStarWindow,
+            &mut exp,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn grid_shortest_path_is_manhattan_when_uncongested() {
         let grid = Grid::new(10, 10);
-        let path = grid
-            .shortest_path((1, 1), (4, 5), 8, 2.0, &EdgeOverlay::new())
-            .unwrap();
+        let path = astar_path(&grid, (1, 1), (4, 5));
         assert_eq!(path.len(), 1 + 3 + 4);
         assert_eq!(path[0], (1, 1));
         assert_eq!(*path.last().unwrap(), (4, 5));
@@ -783,8 +1212,17 @@ mod tests {
                 grid.commit(&[(c, 1), (c + 1, 1)]);
             }
         }
+        let mut exp = 0;
         let path = grid
-            .shortest_path((0, 1), (4, 1), 2, 10.0, &EdgeOverlay::new())
+            .shortest_path(
+                (0, 1),
+                (4, 1),
+                2,
+                10.0,
+                &EdgeOverlay::new(),
+                RouteAlgorithm::AStarWindow,
+                &mut exp,
+            )
             .unwrap();
         // The detour leaves row 1.
         assert!(
@@ -803,18 +1241,162 @@ mod tests {
             grid.accumulate(&[(c, 1), (c + 1, 1)], &mut overlay);
             grid.accumulate(&[(c, 1), (c + 1, 1)], &mut overlay);
         }
+        let mut exp = 0;
         let path = grid
-            .shortest_path((0, 1), (4, 1), 2, 10.0, &overlay)
+            .shortest_path(
+                (0, 1),
+                (4, 1),
+                2,
+                10.0,
+                &overlay,
+                RouteAlgorithm::AStarWindow,
+                &mut exp,
+            )
             .unwrap();
         assert!(
             path.iter().any(|&(_, r)| r != 1),
             "expected a detour, got {path:?}"
         );
         // Without the overlay the corridor is free and the path is direct.
-        let direct = grid
-            .shortest_path((0, 1), (4, 1), 2, 10.0, &EdgeOverlay::new())
-            .unwrap();
+        let direct = astar_path(&grid, (0, 1), (4, 1));
         assert!(direct.iter().all(|&(_, r)| r == 1));
+    }
+
+    #[test]
+    fn astar_and_dijkstra_agree_bit_for_bit_per_segment() {
+        // Exhaustive per-segment equivalence on a grid with uneven
+        // congestion: every (src, dst) pair must yield the identical
+        // canonical path from both searches.
+        let mut grid = Grid::new(12, 9);
+        // An asymmetric congestion pattern (diagonal stripes of commits).
+        for c in 0..11 {
+            for r in 0..9 {
+                for _ in 0..((c + 2 * r) % 4) {
+                    grid.commit(&[(c, r), (c + 1, r)]);
+                }
+            }
+        }
+        for c in 0..12 {
+            for r in 0..8 {
+                for _ in 0..((3 * c + r) % 3) {
+                    grid.commit(&[(c, r), (c, r + 1)]);
+                }
+            }
+        }
+        let overlay = EdgeOverlay::new();
+        for (src, dst) in [
+            ((0, 0), (11, 8)),
+            ((11, 0), (0, 8)),
+            ((2, 7), (9, 1)),
+            ((5, 4), (6, 4)),
+            ((0, 4), (11, 4)),
+            ((3, 0), (3, 8)),
+        ] {
+            let mut exp = 0;
+            let astar = grid.shortest_path(
+                src,
+                dst,
+                4,
+                5.0,
+                &overlay,
+                RouteAlgorithm::AStarWindow,
+                &mut exp,
+            );
+            let mut exp_ref = 0;
+            let dijkstra = grid.shortest_path(
+                src,
+                dst,
+                4,
+                5.0,
+                &overlay,
+                RouteAlgorithm::DijkstraReference,
+                &mut exp_ref,
+            );
+            assert_eq!(astar, dijkstra, "paths diverged for {src:?} -> {dst:?}");
+            assert_eq!(exp_ref, 0, "the reference never expands windows");
+        }
+    }
+
+    #[test]
+    fn window_expands_when_congestion_forces_long_detours() {
+        // Wall off the direct corridor so the only path detours far
+        // outside the initial window; the windowed search must widen
+        // (counting expansions) and still find the same path as the
+        // reference.
+        let mut grid = Grid::new(30, 15);
+        // Block the vertical edges of a wall at column 10 except row 14,
+        // and the horizontal edges crossing column 10 except at row 14.
+        for r in 0..14 {
+            for _ in 0..8 {
+                grid.commit(&[(10, r), (11, r)]);
+            }
+        }
+        let src = (8, 2);
+        let dst = (13, 2);
+        let mut exp = 0;
+        let astar = grid
+            .shortest_path(
+                src,
+                dst,
+                8,
+                2.0,
+                &EdgeOverlay::new(),
+                RouteAlgorithm::AStarWindow,
+                &mut exp,
+            )
+            .unwrap();
+        assert!(exp > 0, "the detour must force a window expansion");
+        let mut exp_ref = 0;
+        let dijkstra = grid
+            .shortest_path(
+                src,
+                dst,
+                8,
+                2.0,
+                &EdgeOverlay::new(),
+                RouteAlgorithm::DijkstraReference,
+                &mut exp_ref,
+            )
+            .unwrap();
+        assert_eq!(astar, dijkstra, "expanded window diverged from reference");
+        assert!(
+            astar.iter().any(|&(_, r)| r >= 13),
+            "path should detour around the wall, got {astar:?}"
+        );
+    }
+
+    #[test]
+    fn scratch_survives_grid_size_changes() {
+        // The thread-local arena is shared across searches on grids of
+        // different sizes; epoch stamping must keep results correct when
+        // a smaller grid follows a larger one (indices alias).
+        let big = Grid::new(40, 40);
+        let p1 = astar_path(&big, (0, 0), (39, 39));
+        assert_eq!(p1.len(), 79);
+        let small = Grid::new(4, 4);
+        let p2 = astar_path(&small, (0, 0), (3, 3));
+        assert_eq!(p2.len(), 7);
+        for &(c, r) in &p2 {
+            assert!(c < 4 && r < 4, "stale scratch leaked an out-of-grid bin");
+        }
+        let p3 = astar_path(&big, (39, 0), (0, 39));
+        assert_eq!(p3.len(), 79);
+    }
+
+    #[test]
+    fn routing_is_identical_for_both_algorithms() {
+        // End-to-end equivalence under congestion and capacity
+        // relaxation: the full Routing structure (paths, lengths,
+        // congestion map, relaxations) must be bit-identical.
+        let (nl, p) = placed_netlist();
+        let mut base = RouterOptions {
+            virtual_capacity: 2,
+            ..RouterOptions::default()
+        };
+        let astar = route(&nl, &p, &TechnologyModel::nm45(), &base).unwrap();
+        base.algorithm = RouteAlgorithm::DijkstraReference;
+        let dijkstra = route(&nl, &p, &TechnologyModel::nm45(), &base).unwrap();
+        assert_eq!(astar, dijkstra, "A* routing diverged from the reference");
     }
 
     #[test]

@@ -262,6 +262,129 @@ fn trace_stream_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn windowed_astar_routes_bit_identical_to_dijkstra_on_the_flow() {
+    // The hot-path contract of the windowed A* router, end to end: on the
+    // pinned SEED=42 flow design it must produce the exact Routing — every
+    // path bin, length, congestion cell — that the full-grid Dijkstra
+    // reference produces, at NCS_THREADS=1 and =4 alike. The window
+    // machinery (escape bounds, sealed-pin fast path, unroutability
+    // probes) is a pure work reducer, never a result changer.
+    use ncs_phys::{route, RouteAlgorithm, RouterOptions};
+    let tb = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let framework = AutoNcs::fast();
+    let result = framework.run(tb.network()).expect("flow succeeds");
+    let tech = ncs_tech::TechnologyModel::nm45();
+    let route_with = |algorithm: RouteAlgorithm, threads: usize| {
+        ncs_par::set_thread_override(Some(threads));
+        let r = route(
+            &result.design.netlist,
+            &result.design.placement,
+            &tech,
+            &RouterOptions {
+                algorithm,
+                ..RouterOptions::default()
+            },
+        );
+        ncs_par::set_thread_override(None);
+        r.expect("routing succeeds")
+    };
+    let reference = route_with(RouteAlgorithm::DijkstraReference, 1);
+    for threads in [1, 4] {
+        let optimized = route_with(RouteAlgorithm::AStarWindow, threads);
+        assert_eq!(
+            optimized, reference,
+            "windowed A* routing diverged from the Dijkstra reference at NCS_THREADS={threads}"
+        );
+    }
+    assert!(!reference.routed.is_empty(), "the flow routed real wires");
+}
+
+#[test]
+fn routing_order_is_unchanged_by_the_squared_distance_comparison() {
+    // The router orders wires by the distance from the placement's center
+    // of gravity to each wire's closest pin; the hot path compares
+    // *squared* distances to skip a sqrt per pin. x ↦ x² is monotone on
+    // non-negative reals, so the sort permutation — and therefore every
+    // downstream routing decision — must be identical. Pin that on the
+    // real flow netlist, ties and all.
+    let tb = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let framework = AutoNcs::fast();
+    let result = framework.run(tb.network()).expect("flow succeeds");
+    let netlist = &result.design.netlist;
+    let placement = &result.design.placement;
+    let cg_x: f64 = placement.x.iter().sum::<f64>() / placement.x.len() as f64;
+    let cg_y: f64 = placement.y.iter().sum::<f64>() / placement.y.len() as f64;
+    let closest = |sqrt: bool| -> Vec<f64> {
+        netlist
+            .wires
+            .iter()
+            .map(|w| {
+                w.pins
+                    .iter()
+                    .map(|&p| {
+                        let dx = placement.x[p] - cg_x;
+                        let dy = placement.y[p] - cg_y;
+                        let d2 = dx * dx + dy * dy;
+                        if sqrt {
+                            d2.sqrt()
+                        } else {
+                            d2
+                        }
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    };
+    let order_by = |key: &[f64]| -> Vec<usize> {
+        let mut order: Vec<usize> = (0..netlist.wires.len()).collect();
+        order.sort_by(|&a, &b| {
+            key[a]
+                .total_cmp(&key[b])
+                .then(netlist.wires[b].weight.total_cmp(&netlist.wires[a].weight))
+                .then(a.cmp(&b))
+        });
+        order
+    };
+    assert_eq!(
+        order_by(&closest(false)),
+        order_by(&closest(true)),
+        "squared-distance routing order diverged from the sqrt order"
+    );
+}
+
+#[test]
+fn incremental_detailed_swap_matches_reference_on_the_flow() {
+    // The incremental bounding-box bookkeeping in detailed_swap must make
+    // exactly the same accept/reject decisions as the full-HPWL-recompute
+    // reference — on the real flow netlist the refined coordinates agree
+    // bit for bit after several passes.
+    use ncs_phys::{detailed_swap, detailed_swap_reference};
+    let tb = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let framework = AutoNcs::fast();
+    let result = framework.run(tb.network()).expect("flow succeeds");
+    let mut incremental = result.design.placement.clone();
+    let mut reference = result.design.placement.clone();
+    detailed_swap(&result.design.netlist, &mut incremental, 4);
+    detailed_swap_reference(&result.design.netlist, &mut reference, 4);
+    let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&incremental.x),
+        bits(&reference.x),
+        "incremental detailed swap diverged from the reference in x"
+    );
+    assert_eq!(
+        bits(&incremental.y),
+        bits(&reference.y),
+        "incremental detailed swap diverged from the reference in y"
+    );
+    assert_ne!(
+        bits(&incremental.x),
+        bits(&result.design.placement.x),
+        "the swap passes did real refinement work on the flow placement"
+    );
+}
+
+#[test]
 fn testbench_generation_is_deterministic_for_fixed_seed() {
     let a = Testbench::from_spec(spec(), SEED).expect("valid spec");
     let b = Testbench::from_spec(spec(), SEED).expect("valid spec");
