@@ -256,6 +256,15 @@ fn linalg() {
 fn par() {
     println!("[bench] par");
     let mut group = BenchGroup::new("par");
+    // Requested parallel thread count; the CI matrix sweeps this over
+    // {2, 4}. bench_speedup additionally caps it at the hardware, so on
+    // a 1-core runner every kernel runs its true inline path and the
+    // t<n>/t1 gate checks that the cutoff layer really costs nothing.
+    let threads = std::env::var("NCS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &usize| t > 0)
+        .unwrap_or(4);
 
     // Dense eigensolver: n=192 exceeds the team threshold (128), so the
     // Householder/QL team path genuinely runs multi-worker.
@@ -270,7 +279,7 @@ fn par() {
             a[(j, i)] = v;
         }
     }
-    group.bench_speedup("symmetric_eigen/192", 4, || {
+    group.bench_speedup("symmetric_eigen/192", threads, || {
         SymmetricEigen::new(&a).unwrap()
     });
 
@@ -288,7 +297,7 @@ fn par() {
     }
     let csr = CsrMatrix::from_triplets(dim, dim, &triplets).unwrap();
     let x: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.17).sin()).collect();
-    group.bench_speedup("csr_matvec/2000", 4, || {
+    group.bench_speedup("csr_matvec/2000", threads, || {
         let mut y = vec![0.0; dim];
         for _ in 0..32 {
             csr.matvec_into(&x, &mut y);
@@ -308,7 +317,9 @@ fn par() {
         }
         DenseMatrix::from_vec(npts, dim, data).unwrap()
     };
-    group.bench_speedup("kmeans/2048x8", 4, || kmeans(&pts, 16, SEED, 30).unwrap());
+    group.bench_speedup("kmeans/2048x8", threads, || {
+        kmeans(&pts, 16, SEED, 30).unwrap()
+    });
 
     // Placement and routing on the same hybrid mapping the
     // physical_design group uses.
@@ -323,11 +334,11 @@ fn par() {
     .run(&net)
     .unwrap();
     let nl = Netlist::from_mapping(&hybrid, &tech);
-    group.bench_speedup("placement/hybrid128", 4, || {
+    group.bench_speedup("placement/hybrid128", threads, || {
         place(&nl, &PlacerOptions::fast()).unwrap()
     });
     let p = place(&nl, &PlacerOptions::fast()).unwrap();
-    group.bench_speedup("routing/hybrid128", 4, || {
+    group.bench_speedup("routing/hybrid128", threads, || {
         route(&nl, &p, &tech, &RouterOptions::default()).unwrap()
     });
 

@@ -45,11 +45,17 @@ impl BenchResult {
 pub struct Speedup {
     /// Kernel name (e.g. `"matvec/600"`).
     pub name: String,
-    /// Thread count of the parallel run (the baseline is always 1).
+    /// Requested thread count of the parallel run (the baseline is
+    /// always 1).
     pub threads: usize,
+    /// Thread count the parallel run actually used:
+    /// `threads.min(ncs_par::hardware_threads())` — the same hardware
+    /// cap a production `NCS_THREADS` request resolves through, so the
+    /// recorded factor reflects what a user would see.
+    pub effective_threads: usize,
     /// Median wall-clock nanoseconds of the single-thread run.
     pub serial_ns: u128,
-    /// Median wall-clock nanoseconds of the run at `threads`.
+    /// Median wall-clock nanoseconds of the run at `effective_threads`.
     pub parallel_ns: u128,
 }
 
@@ -163,9 +169,14 @@ impl BenchGroup {
     }
 
     /// Times `f` twice — with the `ncs-par` thread override pinned to a
-    /// single worker (the true serial code path) and then at `threads` —
-    /// records both runs as ordinary benches (`name/t1`, `name/t<n>`) and
-    /// logs a [`Speedup`] comparing the medians. The override is always
+    /// single worker (the true serial code path) and then at
+    /// `threads.min(hardware_threads())` — records both runs as ordinary
+    /// benches (`name/t1`, `name/t<n>`, named after the *requested*
+    /// count so artifact names stay stable across hosts) and logs a
+    /// [`Speedup`] comparing the medians. The parallel run goes through
+    /// the same hardware cap as a production `NCS_THREADS` request
+    /// (an uncapped override would measure deliberate oversubscription,
+    /// which no user-facing configuration runs). The override is always
     /// restored afterwards.
     pub fn bench_speedup<T>(
         &mut self,
@@ -173,22 +184,25 @@ impl BenchGroup {
         threads: usize,
         mut f: impl FnMut() -> T,
     ) -> &Speedup {
+        let effective = threads.max(1).min(ncs_par::hardware_threads());
         ncs_par::set_thread_override(Some(1));
         let serial_ns = self.bench(&format!("{name}/t1"), &mut f).median_ns;
-        ncs_par::set_thread_override(Some(threads));
+        ncs_par::set_thread_override(Some(effective));
         let parallel_ns = self.bench(&format!("{name}/t{threads}"), &mut f).median_ns;
         ncs_par::set_thread_override(None);
         let s = Speedup {
             name: name.to_string(),
             threads,
+            effective_threads: effective,
             serial_ns,
             parallel_ns,
         };
         println!(
-            "  {}/{name}: {:.2}x at {} threads ({} hardware)",
+            "  {}/{name}: {:.2}x at {} threads (effective {}, {} hardware)",
             self.name,
             s.factor(),
             threads,
+            effective,
             self.hardware_threads
         );
         self.speedups.push(s);
@@ -238,7 +252,7 @@ impl BenchGroup {
     ///      "median_ns": 1000, "min_ns": 900, "mean_ns": 1100}
     ///   ],
     ///   "speedups": [
-    ///     {"name": "matvec/600", "threads": 4,
+    ///     {"name": "matvec/600", "threads": 4, "effective_threads": 4,
     ///      "serial_ns": 1000, "parallel_ns": 400, "speedup": 2.5}
     ///   ]
     /// }
@@ -280,9 +294,10 @@ impl BenchGroup {
                 }
                 let _ = write!(
                     out,
-                    "\n    {{\"name\": {}, \"threads\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}}}",
+                    "\n    {{\"name\": {}, \"threads\": {}, \"effective_threads\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}}}",
                     json_string(&s.name),
                     s.threads,
+                    s.effective_threads,
                     s.serial_ns,
                     s.parallel_ns,
                     s.factor()
@@ -408,6 +423,11 @@ mod tests {
             })
             .clone();
         assert_eq!(s.threads, 4);
+        assert_eq!(
+            s.effective_threads,
+            4usize.min(ncs_par::hardware_threads()),
+            "parallel run is capped at the hardware like NCS_THREADS"
+        );
         assert!(s.factor() > 0.0);
         // Both underlying runs landed in the ordinary results list.
         let names: Vec<&str> = group.results().iter().map(|r| r.name.as_str()).collect();
@@ -452,6 +472,7 @@ mod tests {
         let s = Speedup {
             name: "zero".into(),
             threads: 4,
+            effective_threads: 4,
             serial_ns: 100,
             parallel_ns: 0,
         };

@@ -187,21 +187,20 @@ fn lloyd(
     let dim = points.ncols();
     let mut assignment = vec![0usize; n];
     let mut iterations = 0;
-    let work = n * k * dim;
     loop {
         // Assignment step: each point's label is a pure function of
         // (point, centroids), so point chunks fan out across the
         // ncs-par team with a plain OR over the per-chunk change flags;
         // the labels are identical at any thread count.
-        let mut changed = if work >= ASSIGN_MIN_WORK && ncs_par::threads() > 1 {
-            ncs_par::par_chunks_mut(&mut assignment, ASSIGN_GRAIN, |i0, chunk| {
+        // Each point costs k*dim distance ops, so the cutoff engages at
+        // the calibrated n*k*dim work floor.
+        let cutoff = ncs_par::Cutoff::min_work(ASSIGN_MIN_WORK).work_per_item(k * dim);
+        let mut changed =
+            ncs_par::par_chunks_mut(&mut assignment, ASSIGN_GRAIN, cutoff, |i0, chunk| {
                 assign_chunk(points, &centroids, i0, chunk)
             })
             .into_iter()
-            .any(|c| c)
-        } else {
-            assign_chunk(points, &centroids, 0, &mut assignment)
-        };
+            .any(|c| c);
         // Update step.
         let mut sums = DenseMatrix::zeros(k, dim);
         let mut counts = vec![0usize; k];

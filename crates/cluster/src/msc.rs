@@ -40,17 +40,17 @@ pub fn spectral_embedding(net: &ConnectionMatrix) -> Result<GeneralizedEigen, Cl
     // Each Laplacian row depends only on (sym, degrees), so row chunks
     // fan out across the ncs-par team; the entries are identical at any
     // thread count.
-    if n >= LAPLACIAN_MIN_N && ncs_par::threads() > 1 {
-        ncs_par::par_chunks_mut(
-            laplacian.as_mut_slice(),
-            LAPLACIAN_ROW_GRAIN * n,
-            |start, c| {
-                laplacian_rows(&sym, &degrees, start / n, c);
-            },
-        );
-    } else {
-        laplacian_rows(&sym, &degrees, 0, laplacian.as_mut_slice());
-    }
+    // Items are matrix entries (n²); the cutoff engages at the
+    // calibrated LAPLACIAN_MIN_N network order.
+    let cutoff = ncs_par::Cutoff::min_work(LAPLACIAN_MIN_N * LAPLACIAN_MIN_N);
+    ncs_par::par_chunks_mut(
+        laplacian.as_mut_slice(),
+        LAPLACIAN_ROW_GRAIN * n,
+        cutoff,
+        |start, c| {
+            laplacian_rows(&sym, &degrees, start / n, c);
+        },
+    );
     Ok(GeneralizedEigen::new(&laplacian, &degrees)?)
 }
 

@@ -245,19 +245,18 @@ impl GeneralizedEigen {
 /// the thread count) determines the rounding of the result.
 const TRED2_GRAIN: usize = 32;
 
-/// Below this order the eigensolver teams stay at one worker: spawn and
-/// barrier overhead would swamp the O(n³) work.
-const TEAM_MIN_N: usize = 128;
+/// Total-work floor for the eigensolver's parallel paths, calibrated at
+/// order 128 (the old `TEAM_MIN_N`): both `tred2` and `tql2` are O(n³)
+/// kernels, and below ~n=128 spawn and barrier overhead swamps the
+/// arithmetic.
+const EIGEN_MIN_WORK: usize = 128 * 128 * 128;
 
-/// Worker cap for the eigensolver teams: 1 below [`TEAM_MIN_N`]
-/// (the body then runs inline on the calling thread), otherwise
-/// whatever [`ncs_par::threads`] resolves to.
-fn team_workers(n: usize) -> usize {
-    if n >= TEAM_MIN_N {
-        ncs_par::MAX_THREADS
-    } else {
-        1
-    }
+/// The eigensolver cutoff for an order-`n` problem: `n` row-items at
+/// ~`n²` work each, engaging the pool once n³ reaches
+/// [`EIGEN_MIN_WORK`]. A pure function of `n`, so the inline/dispatch
+/// decision (and its trace counters) never depends on the thread count.
+fn eigen_cutoff(n: usize) -> ncs_par::Cutoff {
+    ncs_par::Cutoff::min_work(EIGEN_MIN_WORK).work_per_item(n.saturating_mul(n))
 }
 
 /// Householder reduction of a symmetric matrix (stored in `z`) to
@@ -277,14 +276,19 @@ fn tred2(z: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) {
     let u_buf = SharedF64Buf::new(n);
     let e_buf = SharedF64Buf::new(n);
     let d_buf = SharedF64Buf::new(n);
+    let u_all = SharedF64Buf::new(n * n);
     let chunks = ncs_par::chunk_count(n, TRED2_GRAIN);
-    let partials = SharedF64Buf::new(chunks * n);
+    // Two partials buffers, alternated per accumulation column: with
+    // only one barrier per column, a worker may start writing partials
+    // for column i+1 while a straggler is still folding column i, so
+    // consecutive columns must not share a buffer.
+    let partials = [SharedF64Buf::new(chunks * n), SharedF64Buf::new(chunks * n)];
     ncs_par::team_split_mut(
         z.as_mut_slice(),
         n,
         TRED2_GRAIN,
-        team_workers(n),
-        |ctx, rows| tred2_body(&ctx, rows, n, &u_buf, &e_buf, &d_buf, &partials),
+        eigen_cutoff(n),
+        |ctx, rows| tred2_body(&ctx, rows, n, &u_buf, &e_buf, &d_buf, &u_all, &partials),
     );
     for i in 0..n {
         d[i] = d_buf.get(i);
@@ -313,7 +317,8 @@ fn tred2_body(
     u_buf: &SharedF64Buf,
     e_buf: &SharedF64Buf,
     d_buf: &SharedF64Buf,
-    partials: &SharedF64Buf,
+    u_all: &SharedF64Buf,
+    partials: &[SharedF64Buf; 2],
 ) {
     let first = ctx.first_item;
     let own_end = first + ctx.items;
@@ -413,33 +418,49 @@ fn tred2_body(
     // reduction-phase values even after this loop starts overwriting
     // d_buf with the final diagonal.
     let d_final: Vec<f64> = (0..n).map(|i| d_buf.get(i)).collect();
-    // Everyone must finish snapshotting before any worker's tail below
-    // starts overwriting d_buf, or a slow worker reads a corrupted guard
-    // and the per-iteration barrier counts diverge (deadlock).
+    // Pre-publish every Householder vector for the whole phase: step i
+    // reads row i columns `0..i`, and no earlier step touches row i
+    // (step i' < i rank-updates only rows k < i' and rewrites row i'
+    // itself), so the reduction-phase bits snapshotted here are exactly
+    // what the old per-column publish would have sent. This removes one
+    // publish barrier per column — the accumulation phase now costs a
+    // single barrier per transformed column instead of two.
+    for k in first..own_end {
+        let row_k = &rows[(k - first) * n..(k - first) * n + n];
+        for (j, &v) in row_k.iter().enumerate().take(k) {
+            u_all.set(k * n + j, v);
+        }
+    }
+    // Everyone must finish snapshotting/publishing before any worker's
+    // tail below starts overwriting d_buf or its own rows, or a slow
+    // worker reads a corrupted guard and the per-iteration barrier
+    // counts diverge (deadlock).
     ctx.sync();
     let chunks = ncs_par::chunk_count(n, TRED2_GRAIN);
     let first_chunk = first / TRED2_GRAIN;
     let own_chunk_end = first_chunk + ncs_par::chunk_count(ctx.items, TRED2_GRAIN);
     let mut g = vec![0.0; n];
     let mut scratch = vec![0.0; n];
+    // Parity of the partials buffer in use; advances only on columns
+    // that synchronise, identically on every worker.
+    let mut pass = 0usize;
     for i in 0..n {
         // ncs-lint: allow(float-eq) — exact zero marks an untouched transform column
         if d_final[i] != 0.0 {
-            if ctx.owns(i) {
-                let row_i = &rows[(i - first) * n..(i - first) * n + n];
-                for (k, &v) in row_i.iter().enumerate().take(i) {
-                    u_buf.set(k, v);
-                }
-            }
-            ctx.sync();
             for (k, slot) in u.iter_mut().enumerate().take(i) {
-                *slot = u_buf.get(k);
+                *slot = u_all.get(i * n + k);
             }
             // Per-chunk partials of g[j] = Σ_k z[i][k]·z[k][j]; each
             // chunk has exactly one owner (worker splits are
             // grain-aligned), and the fold below runs in ascending
             // chunk order on every worker — bit-identical at any team
-            // size because the chunk grid depends only on n.
+            // size because the chunk grid depends only on n. The
+            // buffers alternate by column parity: the barrier below is
+            // the only one per column, so a worker one column ahead
+            // writes the *other* buffer while a straggler still folds
+            // this one.
+            let pbuf = &partials[pass % 2];
+            pass += 1;
             for c in first_chunk..own_chunk_end {
                 let k_lo = c * TRED2_GRAIN;
                 if k_lo >= i {
@@ -455,7 +476,7 @@ fn tred2_body(
                     }
                 }
                 for (j, &s) in scratch.iter().enumerate().take(i) {
-                    partials.set(c * n + j, s);
+                    pbuf.set(c * n + j, s);
                 }
             }
             ctx.sync();
@@ -465,7 +486,7 @@ fn tred2_body(
                     break;
                 }
                 for (j, slot) in g.iter_mut().enumerate().take(i) {
-                    *slot += partials.get(c * n + j);
+                    *slot += pbuf.get(c * n + j);
                 }
             }
             let k_hi = i.min(own_end);
@@ -492,14 +513,24 @@ fn tred2_body(
     }
 }
 
+/// Rows per strip in the `tql2` rotation-replay pass. Load-balance
+/// only: each row receives the identical rotation sequence, so the
+/// strip width cannot affect result bits.
+const TQL2_STRIP_GRAIN: usize = 16;
+
 /// Implicit-shift QL iteration on a tridiagonal matrix `(d, e)` with
 /// eigenvector accumulation into `z`.
 ///
-/// Parallel strategy: every team worker replays the identical scalar
-/// recurrence on a private copy of `(d, e)` (same bits, same branches —
-/// including the underflow deflation path) and applies each Givens
-/// rotation inline to its own row block, so no barriers are needed and
-/// the per-element arithmetic matches the serial path exactly.
+/// Parallel strategy: run the scalar recurrence **once**, serially,
+/// recording every Givens rotation `(i, s, c)` in order; then apply the
+/// whole log to each eigenvector row in one strip pass over `z`. The
+/// rotations touch each row independently (columns `i`/`i+1` of that
+/// row only), so replaying the identical sequence per row is exactly
+/// the serial arithmetic — bit-identical at any thread count — while
+/// the phase structure is one pool dispatch and zero barriers, however
+/// many sweeps QL takes. (The previous shape had every team worker
+/// replay the recurrence privately; the log costs O(rotations) memory
+/// instead of W redundant recurrences.)
 pub(crate) fn tql2(
     z: &mut DenseMatrix,
     d: &mut [f64],
@@ -509,39 +540,29 @@ pub(crate) fn tql2(
     if n == 1 {
         return Ok(0);
     }
-    if ncs_par::threads() > 1 && n >= TEAM_MIN_N {
-        let d0 = d.to_vec();
-        let e0 = e.to_vec();
-        let mut results = ncs_par::team_split_mut(
+    let cols = z.ncols();
+    // Size-only mode decision (matching the tred2 team cutoff), so the
+    // trace counter stream cannot depend on the thread count. Below the
+    // cutoff, skip the log entirely — no allocation on the serial path.
+    if eigen_cutoff(n).engages(n) {
+        let mut log: Vec<(usize, f64, f64)> = Vec::new();
+        let sweeps = tql2_kernel(d, e, |i, s, c| log.push((i, s, c)))?;
+        ncs_par::par_chunks_mut(
             z.as_mut_slice(),
-            n,
-            1,
-            ncs_par::MAX_THREADS,
-            |_ctx, rows| {
-                let mut dw = d0.clone();
-                let mut ew = e0.clone();
-                tql2_kernel(&mut dw, &mut ew, |i, s, c| {
-                    for row in rows.chunks_mut(n) {
+            TQL2_STRIP_GRAIN * cols,
+            ncs_par::Cutoff::NONE,
+            |_, strip| {
+                for row in strip.chunks_mut(cols) {
+                    for &(i, s, c) in &log {
                         let f = row[i + 1];
                         row[i + 1] = s * row[i] + c * f;
                         row[i] = c * row[i] - s * f;
                     }
-                })
-                .map(|sweeps| (dw, ew, sweeps))
+                }
             },
         );
-        // Every worker ran the same recurrence on the same input bits;
-        // take worker 0's copy (a team always has at least one worker).
-        match results.swap_remove(0) {
-            Ok((dw, ew, sweeps)) => {
-                d.copy_from_slice(&dw);
-                e.copy_from_slice(&ew);
-                Ok(sweeps)
-            }
-            Err(err) => Err(err),
-        }
+        Ok(sweeps)
     } else {
-        let cols = z.ncols();
         tql2_kernel(d, e, |i, s, c| {
             for row in z.as_mut_slice().chunks_mut(cols) {
                 let f = row[i + 1];

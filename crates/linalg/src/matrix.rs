@@ -196,18 +196,28 @@ impl DenseMatrix {
                 found: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
         let ocols = rhs.cols;
-        let work = self.rows * self.cols * ocols;
-        if work >= MATMUL_MIN_WORK && ocols > 0 && ncs_par::threads() > 1 {
-            // Grain is a whole number of output rows, so every chunk is
-            // a run of complete rows and `start / ocols` is exact.
-            ncs_par::par_chunks_mut(out.as_mut_slice(), MATMUL_ROW_GRAIN * ocols, |start, c| {
-                matmul_rows(self, rhs, start / ocols, c);
-            });
-        } else {
-            matmul_rows(self, rhs, 0, out.as_mut_slice());
+        if ocols == 0 {
+            // Degenerate rows×0 product: nothing to compute, and the
+            // grain below (`MATMUL_ROW_GRAIN * ocols`) would collapse to
+            // a nonsensical one-element chunk grid.
+            return Ok(DenseMatrix::zeros(self.rows, 0));
         }
+        let mut out = DenseMatrix::zeros(self.rows, ocols);
+        // Items are output elements (rows*ocols), each costing one
+        // inner-dimension dot: total work = rows*cols*ocols flops, the
+        // unit MATMUL_MIN_WORK is calibrated in.
+        let cutoff = ncs_par::Cutoff::min_work(MATMUL_MIN_WORK).work_per_item(self.cols);
+        // Grain is a whole number of output rows, so every chunk is
+        // a run of complete rows and `start / ocols` is exact.
+        ncs_par::par_chunks_mut(
+            out.as_mut_slice(),
+            MATMUL_ROW_GRAIN * ocols,
+            cutoff,
+            |start, c| {
+                matmul_rows(self, rhs, start / ocols, c);
+            },
+        );
         Ok(out)
     }
 
@@ -384,6 +394,43 @@ mod tests {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::zeros(2, 3);
         assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_with_zero_width_rhs() {
+        // rows×0 product: must return an empty rows×0 matrix, not panic
+        // on a zero-sized chunk grain.
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]).unwrap();
+        let b = DenseMatrix::zeros(2, 0);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 0));
+        assert!(c.as_slice().is_empty());
+        // Zero-row lhs against it, too.
+        let empty = DenseMatrix::zeros(0, 2);
+        assert_eq!(empty.matmul(&b).unwrap().shape(), (0, 0));
+    }
+
+    #[test]
+    fn matmul_single_column_rhs_matches_matvec() {
+        // ocols == 1 exercises the smallest legal grain (one chunk per
+        // MATMUL_ROW_GRAIN rows); the result must equal matvec exactly.
+        let a = DenseMatrix::from_rows(&[
+            &[1.5, -2.0, 0.25][..],
+            &[0.0, 3.0, -1.0][..],
+            &[4.0, 0.5, 2.0][..],
+        ])
+        .unwrap();
+        let v = [2.0, -1.0, 0.5];
+        let mut b = DenseMatrix::zeros(3, 1);
+        for (i, &x) in v.iter().enumerate() {
+            b[(i, 0)] = x;
+        }
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (3, 1));
+        let mv = a.matvec(&v).unwrap();
+        for i in 0..3 {
+            assert_eq!(c[(i, 0)].to_bits(), mv[i].to_bits());
+        }
     }
 
     #[test]

@@ -218,17 +218,16 @@ impl CsrMatrix {
     /// `out` is shorter than `nrows()`.
     pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         let out = &mut out[..self.rows];
-        if self.values.len() >= MATVEC_MIN_NNZ && ncs_par::threads() > 1 {
-            ncs_par::par_chunks_mut(out, MATVEC_ROW_GRAIN, |row0, chunk| {
-                for (k, slot) in chunk.iter_mut().enumerate() {
-                    *slot = self.row_entries(row0 + k).map(|(c, val)| val * v[c]).sum();
-                }
-            });
-        } else {
-            for (r, slot) in out.iter_mut().enumerate() {
-                *slot = self.row_entries(r).map(|(c, val)| val * v[c]).sum();
+        // Work per row is the average stored entries per row, so the
+        // cutoff engages at (rounding aside) nnz >= MATVEC_MIN_NNZ — a
+        // pure function of the matrix shape, never of the thread count.
+        let per_row = self.values.len().checked_div(self.rows).unwrap_or(1).max(1);
+        let cutoff = ncs_par::Cutoff::min_work(MATVEC_MIN_NNZ).work_per_item(per_row);
+        ncs_par::par_chunks_mut(out, MATVEC_ROW_GRAIN, cutoff, |row0, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.row_entries(row0 + k).map(|(c, val)| val * v[c]).sum();
             }
-        }
+        });
     }
 
     /// Row sums — for a graph adjacency matrix these are the node degrees.

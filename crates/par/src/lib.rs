@@ -9,13 +9,37 @@
 //! setting. The single-thread case never spawns: it runs the identical
 //! chunk/fold structure inline on the calling thread.
 //!
-//! Thread-count resolution, in priority order:
+//! # Serial cutoffs
+//!
+//! Pool dispatch costs tens of microseconds; a small kernel loses more
+//! to spawning than it gains from extra cores. Every primitive
+//! therefore takes a [`Cutoff`]: a calibrated minimum amount of work
+//! below which the launch runs inline on the calling thread, with the
+//! **same chunk grid and fold order**, so results are bit-identical on
+//! both sides of the cutoff. The engage/fallback decision is a pure
+//! function of the problem size — never of the thread count — and is
+//! surfaced through two trace counters, `par.pool_dispatches` and
+//! `par.inline_fallbacks`, which therefore also stay bit-identical
+//! across thread counts.
+//!
+//! # Thread-count resolution
+//!
+//! The *requested* count, [`threads`], resolves in priority order:
 //!
 //! 1. an in-process override installed with [`set_thread_override`]
 //!    (used by benches and determinism tests — no racy env mutation),
 //! 2. the `NCS_THREADS` environment variable (read once per process;
 //!    `0` or unparseable values fall back to the hardware default),
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! `0` uniformly means "hardware default" for both the environment
+//! variable and the override. The count a launch actually spawns,
+//! [`pool_threads`], additionally caps environment-resolved requests at
+//! [`hardware_threads`]: this crate's workers are CPU-bound spinners,
+//! so oversubscribing a core only adds barrier latency — and because
+//! the chunk grid ignores the worker count, capping it cannot change a
+//! single result bit. An explicit override is exempt from the cap so
+//! determinism tests can still force genuinely oversubscribed teams.
 //!
 //! # Example
 //!
@@ -26,6 +50,7 @@
 //! let total = ncs_par::par_map_reduce(
 //!     xs.len(),
 //!     128,
+//!     ncs_par::Cutoff::NONE,
 //!     |r| xs[r].iter().sum::<f64>(),
 //!     0.0,
 //!     |acc, part| acc + part,
@@ -54,11 +79,25 @@ static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// `NCS_THREADS` / hardware default, resolved once per process.
 static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
-/// Resolves the worker count used by every primitive in this crate.
+/// Hardware parallelism, resolved once per process.
+static HW_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The machine's available parallelism, clamped to
+/// `1..=`[`MAX_THREADS`] and sampled once per process.
+pub fn hardware_threads() -> usize {
+    *HW_THREADS.get_or_init(|| {
+        thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .clamp(1, MAX_THREADS)
+    })
+}
+
+/// Resolves the *requested* worker count.
 ///
 /// Priority: [`set_thread_override`] > `NCS_THREADS` > hardware
 /// parallelism. Always in `1..=`[`MAX_THREADS`]. Note the environment
-/// variable is sampled once per process, on first use.
+/// variable is sampled once per process, on first use. Launches spawn
+/// [`pool_threads`] workers, which may be fewer.
 pub fn threads() -> usize {
     let forced = OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
@@ -68,6 +107,24 @@ pub fn threads() -> usize {
         let hw = thread::available_parallelism().map_or(1, |n| n.get());
         resolve_threads(std::env::var("NCS_THREADS").ok().as_deref(), hw)
     })
+}
+
+/// The worker count a launch actually spawns: the requested count,
+/// capped at [`hardware_threads`] unless it came from an explicit
+/// [`set_thread_override`].
+///
+/// The cap exists because these pools are CPU-bound spin-barrier
+/// workers — on a 1-core host, `NCS_THREADS=4` used to mean four
+/// workers time-sharing one core, which made the eigensolver up to 23×
+/// *slower* than serial. The chunk grid is a function of the problem
+/// size only, so capping the worker count cannot change any result
+/// bit. Overrides bypass the cap so determinism tests can force real
+/// oversubscribed teams.
+pub fn pool_threads() -> usize {
+    match thread_override() {
+        Some(n) => n,
+        None => threads().min(hardware_threads()),
+    }
 }
 
 /// Pure thread-count resolution, separated from process state so it can
@@ -87,9 +144,18 @@ pub fn resolve_threads(env_value: Option<&str>, hardware: usize) -> usize {
 /// override that takes priority over `NCS_THREADS`.
 ///
 /// Determinism tests and benches use this to compare thread counts
-/// within one process. `Some(0)` is treated as `Some(1)`.
+/// within one process. `Some(0)` means "hardware default", matching
+/// the `NCS_THREADS=0` environment semantics, and is resolved to
+/// [`hardware_threads`] at install time (so [`thread_override`]
+/// reports the resolved count).
 pub fn set_thread_override(n: Option<usize>) {
-    let v = n.map_or(0, |x| x.clamp(1, MAX_THREADS));
+    let v = n.map_or(0, |x| {
+        if x == 0 {
+            hardware_threads()
+        } else {
+            x.clamp(1, MAX_THREADS)
+        }
+    });
     OVERRIDE.store(v, Ordering::Relaxed);
 }
 
@@ -98,6 +164,74 @@ pub fn thread_override() -> Option<usize> {
     match OVERRIDE.load(Ordering::Relaxed) {
         0 => None,
         n => Some(n),
+    }
+}
+
+/// A size-aware serial cutoff: the minimum amount of work a launch must
+/// carry before it is worth dispatching to the worker pool.
+///
+/// A launch over `items` items engages the pool when
+/// `items * work_per_item >= min_work`; below that it runs inline on
+/// the calling thread **with the identical chunk grid and fold order**,
+/// so the cutoff can never change result bits — only where the work
+/// runs. `work_per_item` lets callers express per-item cost in
+/// whatever unit they calibrated `min_work` in (flops, touched
+/// entries, grid cells), defaulting to 1.
+///
+/// The decision is a pure function of the problem size, which keeps
+/// the `par.pool_dispatches` / `par.inline_fallbacks` trace counters —
+/// and therefore whole trace streams — bit-identical across thread
+/// counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cutoff {
+    min_work: usize,
+    work_per_item: usize,
+}
+
+impl Cutoff {
+    /// No cutoff: every non-trivial launch engages the pool.
+    pub const NONE: Cutoff = Cutoff {
+        min_work: 0,
+        work_per_item: 1,
+    };
+
+    /// A cutoff that engages once total work reaches `min_work` units.
+    pub const fn min_work(min_work: usize) -> Cutoff {
+        Cutoff {
+            min_work,
+            work_per_item: 1,
+        }
+    }
+
+    /// Sets the per-item work estimate (clamped to ≥ 1) used to convert
+    /// an item count into total work units.
+    pub const fn work_per_item(self, work: usize) -> Cutoff {
+        Cutoff {
+            min_work: self.min_work,
+            work_per_item: if work == 0 { 1 } else { work },
+        }
+    }
+
+    /// Whether a launch over `items` items carries enough total work to
+    /// engage the pool.
+    pub fn engages(&self, items: usize) -> bool {
+        items.saturating_mul(self.work_per_item) >= self.min_work
+    }
+}
+
+/// Decides the worker count for a launch over `items` items split into
+/// `chunks` chunks, recording the decision as a trace counter.
+///
+/// Both inputs are functions of the problem size only, so the counter
+/// stream is identical at any thread count; only the returned worker
+/// count (never observable in results) depends on [`pool_threads`].
+fn launch_workers(items: usize, chunks: usize, cutoff: Cutoff) -> usize {
+    if chunks <= 1 || !cutoff.engages(items) {
+        ncs_trace::add("par.inline_fallbacks", 1);
+        1
+    } else {
+        ncs_trace::add("par.pool_dispatches", 1);
+        pool_threads().min(chunks)
     }
 }
 
@@ -136,8 +270,9 @@ fn worker_runs(chunks: usize, workers: usize) -> impl Iterator<Item = Range<usiz
 /// `f` receives the global element offset of the chunk plus the chunk
 /// slice. Chunks are assigned to workers as contiguous runs, so the
 /// returned `Vec` is always in ascending chunk order regardless of the
-/// thread count; with one thread the chunks run inline, in order.
-pub fn par_chunks_mut<T, A, F>(data: &mut [T], grain: usize, f: F) -> Vec<A>
+/// thread count; below the `cutoff` (measured in elements of `data`),
+/// or with one thread, the chunks run inline, in order.
+pub fn par_chunks_mut<T, A, F>(data: &mut [T], grain: usize, cutoff: Cutoff, f: F) -> Vec<A>
 where
     T: Send,
     A: Send,
@@ -146,7 +281,7 @@ where
     let len = data.len();
     let grain = grain.max(1);
     let chunks = chunk_count(len, grain);
-    let workers = threads().min(chunks.max(1));
+    let workers = launch_workers(len, chunks, cutoff);
     if workers <= 1 {
         let mut out = Vec::with_capacity(chunks);
         let mut start = 0;
@@ -190,9 +325,17 @@ where
 ///
 /// Because `map` sees only the chunk range (whose layout is a function
 /// of `(len, grain)`) and the fold is an ordered serial pass on the
-/// calling thread, the result is bit-identical at any thread count —
-/// including 1, where the chunks are mapped inline in the same order.
-pub fn par_map_reduce<A, B, M, F>(len: usize, grain: usize, map: M, init: B, mut fold: F) -> B
+/// calling thread, the result is bit-identical at any thread count and
+/// on either side of the `cutoff` (measured in items of `0..len`) —
+/// the inline path maps the same chunks in the same order.
+pub fn par_map_reduce<A, B, M, F>(
+    len: usize,
+    grain: usize,
+    cutoff: Cutoff,
+    map: M,
+    init: B,
+    mut fold: F,
+) -> B
 where
     A: Send,
     M: Fn(Range<usize>) -> A + Sync,
@@ -200,7 +343,7 @@ where
 {
     let grain = grain.max(1);
     let chunks = chunk_count(len, grain);
-    let workers = threads().min(chunks.max(1));
+    let workers = launch_workers(len, chunks, cutoff);
     if workers <= 1 {
         let mut acc = init;
         for r in chunk_ranges(len, grain) {
@@ -233,9 +376,10 @@ where
 /// order (slot `i` always holds `f(i, &items[i])`).
 ///
 /// `grain` controls load balance only: each worker takes a contiguous
-/// run of chunks. Results never depend on the thread count as long as
-/// `f` is a pure function of its arguments.
-pub fn par_map<T, R, F>(items: &[T], grain: usize, f: F) -> Vec<R>
+/// run of chunks. Results never depend on the thread count (or on
+/// which side of the `cutoff` the launch lands) as long as `f` is a
+/// pure function of its arguments.
+pub fn par_map<T, R, F>(items: &[T], grain: usize, cutoff: Cutoff, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -244,6 +388,7 @@ where
     par_map_reduce(
         items.len(),
         grain,
+        cutoff,
         |r| r.map(|i| f(i, &items[i])).collect::<Vec<R>>(),
         Vec::with_capacity(items.len()),
         |mut acc, mut part| {
@@ -251,6 +396,57 @@ where
             acc
         },
     )
+}
+
+/// Work-queue variant of [`par_map`]: workers claim items one at a
+/// time from an atomic next-item counter instead of taking fixed
+/// contiguous runs, then results are reassembled in item order.
+///
+/// This is the right shape when per-item cost varies wildly (the
+/// router's speculative net plans: one net may search a huge window
+/// while seven are trivial) — a straggler item no longer delays claims
+/// of the items after it. The *claim order* is scheduling-dependent,
+/// but each result is keyed by its item index and sorted before
+/// returning, so as long as `f` is a pure function of `(i, &items[i])`
+/// the output is identical to the serial `items.iter().map(...)` pass
+/// — which is exactly what runs below the `cutoff` or with one worker.
+pub fn par_map_queue<T, R, F>(items: &[T], cutoff: Cutoff, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = launch_workers(n, n, cutoff);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let fref = &f;
+            let nref = &next;
+            handles.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    let i = nref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    got.push((i, fref(i, &items[i])));
+                }
+                got
+            }));
+        }
+        for h in handles {
+            per_worker.push(join(h));
+        }
+    });
+    let mut all: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    all.sort_by_key(|&(i, _)| i);
+    all.into_iter().map(|(_, r)| r).collect()
 }
 
 /// A sense-reversing spin barrier: orders of magnitude cheaper than
@@ -339,9 +535,10 @@ impl TeamCtx<'_> {
 /// Worker boundaries are aligned to multiples of `grain` items, so a
 /// chunk grid built with [`chunk_ranges`]`(n_items, grain)` is never
 /// split across workers — each chunk has exactly one owner. Returns the
-/// per-worker results in worker order. With one worker (or when
-/// [`threads`] is 1) `body` runs inline on the calling thread with the
-/// full slice, executing the same code path.
+/// per-worker results in worker order. Below the `cutoff` (measured in
+/// items), with one worker, or when [`pool_threads`] is 1, `body` runs
+/// inline on the calling thread with the full slice, executing the
+/// same code path.
 ///
 /// # Panics
 ///
@@ -351,7 +548,7 @@ pub fn team_split_mut<T, R, F>(
     data: &mut [T],
     item_len: usize,
     grain: usize,
-    max_workers: usize,
+    cutoff: Cutoff,
     body: F,
 ) -> Vec<R>
 where
@@ -368,7 +565,7 @@ where
     let total_items = data.len() / item_len;
     let grain = grain.max(1);
     let blocks = chunk_count(total_items, grain);
-    let workers = threads().min(max_workers.max(1)).min(blocks.max(1));
+    let workers = launch_workers(total_items, blocks, cutoff);
     if workers <= 1 {
         let barrier = SpinBarrier::new(1);
         let ctx = TeamCtx {
@@ -484,10 +681,52 @@ mod tests {
         set_thread_override(Some(5));
         assert_eq!(thread_override(), Some(5));
         assert_eq!(threads(), 5);
-        set_thread_override(Some(0));
-        assert_eq!(thread_override(), Some(1), "0 clamps to 1");
         set_thread_override(None);
         assert_eq!(thread_override(), None);
+    }
+
+    #[test]
+    fn override_zero_means_hardware_default() {
+        // Unified with the NCS_THREADS=0 env semantics: 0 is "auto",
+        // resolved against the machine, never a clamp to 1.
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_override(Some(0));
+        assert_eq!(thread_override(), Some(hardware_threads()));
+        assert_eq!(threads(), hardware_threads());
+        set_thread_override(None);
+        assert_eq!(thread_override(), None);
+    }
+
+    #[test]
+    fn pool_threads_caps_env_but_not_override() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_override(None);
+        assert!(pool_threads() <= hardware_threads());
+        // An explicit override is exact, even when oversubscribed.
+        set_thread_override(Some(hardware_threads() + 3));
+        assert_eq!(pool_threads(), hardware_threads() + 3);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn hardware_threads_is_sane() {
+        let hw = hardware_threads();
+        assert!((1..=MAX_THREADS).contains(&hw));
+        assert_eq!(hw, hardware_threads(), "cached value is stable");
+    }
+
+    #[test]
+    fn cutoff_engages_by_total_work() {
+        assert!(Cutoff::NONE.engages(0), "no cutoff engages everything");
+        let c = Cutoff::min_work(1000);
+        assert!(!c.engages(999));
+        assert!(c.engages(1000));
+        let weighted = Cutoff::min_work(1000).work_per_item(250);
+        assert!(!weighted.engages(3));
+        assert!(weighted.engages(4));
+        // A zero per-item weight clamps to 1 instead of dividing by zero.
+        assert!(!Cutoff::min_work(2).work_per_item(0).engages(1));
+        assert!(Cutoff::min_work(2).work_per_item(0).engages(2));
     }
 
     #[test]
@@ -511,7 +750,7 @@ mod tests {
         for t in [1, 2, 5] {
             let mut data: Vec<f64> = (0..103).map(|i| i as f64).collect();
             let sums = with_override(t, || {
-                par_chunks_mut(&mut data, 10, |start, chunk| {
+                par_chunks_mut(&mut data, 10, Cutoff::NONE, |start, chunk| {
                     for (k, x) in chunk.iter_mut().enumerate() {
                         assert_eq!(*x, (start + k) as f64, "offsets must be global");
                         *x *= 2.0;
@@ -534,6 +773,7 @@ mod tests {
                 par_map_reduce(
                     xs.len(),
                     64,
+                    Cutoff::NONE,
                     |r| xs[r].iter().sum::<f64>(),
                     0.0f64,
                     |acc, p| acc + p,
@@ -552,10 +792,32 @@ mod tests {
     }
 
     #[test]
+    fn cutoff_sides_are_bit_identical() {
+        // The same launch, forced inline by a huge cutoff vs dispatched
+        // with none, must agree to the bit at an oversubscribed count.
+        let xs: Vec<f64> = (0..2048).map(|i| (i as f64).cos() / 3.0).collect();
+        let run = |cutoff: Cutoff| {
+            with_override(4, || {
+                par_map_reduce(
+                    xs.len(),
+                    32,
+                    cutoff,
+                    |r| xs[r].iter().sum::<f64>(),
+                    0.0f64,
+                    |acc, p| acc + p,
+                )
+            })
+        };
+        let inline = run(Cutoff::min_work(usize::MAX));
+        let pooled = run(Cutoff::NONE);
+        assert_eq!(inline.to_bits(), pooled.to_bits());
+    }
+
+    #[test]
     fn par_map_preserves_item_order() {
         let items: Vec<usize> = (0..57).collect();
         for t in [1, 4] {
-            let out = with_override(t, || par_map(&items, 5, |i, &x| (i, x * x)));
+            let out = with_override(t, || par_map(&items, 5, Cutoff::NONE, |i, &x| (i, x * x)));
             assert_eq!(out.len(), items.len());
             for (i, (slot, sq)) in out.iter().enumerate() {
                 assert_eq!(*slot, i);
@@ -565,11 +827,83 @@ mod tests {
     }
 
     #[test]
+    fn par_map_queue_preserves_item_order() {
+        // Claim order is scheduling-dependent; the output must not be.
+        let items: Vec<usize> = (0..201).collect();
+        let expect: Vec<(usize, usize)> = items.iter().map(|&x| (x, x * 3)).collect();
+        for t in [1, 2, 4, 7] {
+            let out = with_override(t, || {
+                par_map_queue(&items, Cutoff::NONE, |i, &x| {
+                    // Uneven per-item cost to scramble the claim order.
+                    if x % 13 == 0 {
+                        std::thread::yield_now();
+                    }
+                    (i, x * 3)
+                })
+            });
+            assert_eq!(out, expect);
+        }
+        // Below the cutoff the serial pass produces the same output.
+        let inline = with_override(4, || {
+            par_map_queue(&items, Cutoff::min_work(usize::MAX), |i, &x| (i, x * 3))
+        });
+        assert_eq!(inline, expect);
+    }
+
+    #[test]
+    fn launch_decisions_are_trace_visible_and_size_only() {
+        // The dispatch/fallback counters must be a pure function of the
+        // problem size: identical event streams at 1 and 4 threads.
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let run = |t: usize| {
+            set_thread_override(Some(t));
+            let ((), events) = ncs_trace::capture(|| {
+                // Engages: plenty of work, no cutoff.
+                par_map_reduce(
+                    4096,
+                    64,
+                    Cutoff::NONE,
+                    |r| r.len() as f64,
+                    0.0f64,
+                    |a, p| a + p,
+                );
+                // Falls back: below a huge cutoff.
+                par_map_reduce(
+                    4096,
+                    64,
+                    Cutoff::min_work(usize::MAX),
+                    |r| r.len() as f64,
+                    0.0f64,
+                    |a, p| a + p,
+                );
+                // Falls back: a single chunk can't use a pool.
+                let mut one = [0.0f64; 3];
+                par_chunks_mut(&mut one, 8, Cutoff::NONE, |_, _| ());
+            });
+            set_thread_override(None);
+            events
+        };
+        let at1 = run(1);
+        let at4 = run(4);
+        assert_eq!(ncs_trace::structure(&at1), ncs_trace::structure(&at4));
+        let count = |events: &[ncs_trace::TraceEvent], which: &str| {
+            events
+                .iter()
+                .filter(
+                    |e| matches!(e, ncs_trace::TraceEvent::Count { name, .. } if *name == which),
+                )
+                .count()
+        };
+        assert_eq!(count(&at1, "par.pool_dispatches"), 1);
+        assert_eq!(count(&at1, "par.inline_fallbacks"), 2);
+    }
+
+    #[test]
     fn team_split_covers_items_and_aligns_to_grain() {
         for t in [1, 3, 4] {
             let mut rows = vec![0u32; 11 * 4]; // 11 items of length 4
             let infos = with_override(t, || {
-                team_split_mut(&mut rows, 4, 2, usize::MAX, |ctx, mine| {
+                team_split_mut(&mut rows, 4, 2, Cutoff::NONE, |ctx, mine| {
                     assert_eq!(mine.len(), ctx.items * 4);
                     assert_eq!(ctx.first_item % 2, 0, "grain-aligned boundaries");
                     for x in mine.iter_mut() {
@@ -602,7 +936,7 @@ mod tests {
                 }
                 let buf = SharedF64Buf::new(16);
                 let seedbuf = SharedF64Buf::new(1);
-                let folds = team_split_mut(&mut rows, 2, 1, usize::MAX, |ctx, mine| {
+                let folds = team_split_mut(&mut rows, 2, 1, Cutoff::NONE, |ctx, mine| {
                     if ctx.worker == 0 {
                         seedbuf.set(0, 0.5);
                     }
@@ -646,12 +980,14 @@ mod tests {
     #[test]
     fn empty_inputs_are_fine() {
         let mut empty: [f64; 0] = [];
-        assert!(par_chunks_mut(&mut empty, 4, |_, _| 0).is_empty());
+        assert!(par_chunks_mut(&mut empty, 4, Cutoff::NONE, |_, _| 0).is_empty());
         assert_eq!(
-            par_map_reduce(0, 4, |_| 1.0f64, 7.0f64, |a, b| a + b).to_bits(),
+            par_map_reduce(0, 4, Cutoff::NONE, |_| 1.0f64, 7.0f64, |a, b| a + b).to_bits(),
             7.0f64.to_bits()
         );
         let none: [u8; 0] = [];
-        assert!(par_map(&none, 4, |_, &x| x).is_empty());
+        assert!(par_map(&none, 4, Cutoff::NONE, |_, &x| x).is_empty());
+        let empty_q: [u8; 0] = [];
+        assert!(par_map_queue(&empty_q, Cutoff::NONE, |_, &x| x).is_empty());
     }
 }

@@ -616,6 +616,13 @@ const WL_GRAIN: usize = 64;
 /// [`WL_GRAIN`]).
 const DENSITY_GRAIN: usize = 64;
 
+/// Minimum items (wires or cells) before a gradient evaluation fans out
+/// to the [`ncs_par`] pool: below a few chunks' worth, the per-chunk
+/// `2n` scratch allocations plus dispatch cost more than the math. The
+/// gradient calls sit inside every CG iteration, so small placements
+/// used to pay this dispatch thousands of times per anneal.
+const GRAD_MIN_ITEMS: usize = 4 * WL_GRAIN;
+
 /// Weighted-average wirelength (Eq. 1) over all wires; optionally
 /// accumulates the gradient into `grad` (layout `[∂x..., ∂y...]`).
 ///
@@ -641,10 +648,12 @@ fn wa_wirelength(netlist: &Netlist, p: &[f64], gamma: f64, grad: Option<&mut [f6
         }
         total
     };
+    let cutoff = ncs_par::Cutoff::min_work(GRAD_MIN_ITEMS);
     match grad {
         Some(g) => ncs_par::par_map_reduce(
             wires.len(),
             WL_GRAIN,
+            cutoff,
             |r| {
                 let mut scratch = vec![0.0; 2 * n];
                 let t = chunk(r, Some(&mut scratch));
@@ -658,9 +667,14 @@ fn wa_wirelength(netlist: &Netlist, p: &[f64], gamma: f64, grad: Option<&mut [f6
                 acc + t
             },
         ),
-        None => {
-            ncs_par::par_map_reduce(wires.len(), WL_GRAIN, |r| chunk(r, None), 0.0, |a, t| a + t)
-        }
+        None => ncs_par::par_map_reduce(
+            wires.len(),
+            WL_GRAIN,
+            cutoff,
+            |r| chunk(r, None),
+            0.0,
+            |a, t| a + t,
+        ),
     }
 }
 
@@ -776,10 +790,12 @@ fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -
         }
         total
     };
+    let cutoff = ncs_par::Cutoff::min_work(GRAD_MIN_ITEMS);
     match grad {
         Some(g) => ncs_par::par_map_reduce(
             n,
             DENSITY_GRAIN,
+            cutoff,
             |r| {
                 let mut scratch = vec![0.0; 2 * n];
                 let t = chunk(r, Some(&mut scratch));
@@ -793,7 +809,14 @@ fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -
                 acc + t
             },
         ),
-        None => ncs_par::par_map_reduce(n, DENSITY_GRAIN, |r| chunk(r, None), 0.0, |a, t| a + t),
+        None => ncs_par::par_map_reduce(
+            n,
+            DENSITY_GRAIN,
+            cutoff,
+            |r| chunk(r, None),
+            0.0,
+            |a, t| a + t,
+        ),
     }
 }
 

@@ -16,6 +16,12 @@ const ROUTE_BATCH: usize = 8;
 /// cost of the first search against the odds of a second one.
 const WINDOW_MARGIN: usize = 4;
 
+/// Minimum estimated search work (grid cells × MST segments) before a
+/// speculative batch fans out to the [`ncs_par`] pool. A fully-sealed
+/// 8-net batch on a small grid plans in a few microseconds — less than
+/// one pool dispatch — so those batches stay inline.
+const ROUTE_PLAN_MIN_WORK: usize = 64 * 1024;
+
 /// Private usage overlay for speculative routing: extra traversals per
 /// grid edge, keyed by `(owning bin index, horizontal)`, layered on top
 /// of a frozen congestion snapshot.
@@ -246,9 +252,9 @@ pub fn route(
     loop {
         let mut failed = Vec::new();
         // Batched speculative routing with an ordered sequential commit.
-        // Each batch is planned (in parallel when `NCS_THREADS > 1`)
-        // against the grid frozen at batch start, then committed one wire
-        // at a time in batch order with re-validation. Batch membership
+        // Each batch is planned (via the ncs-par work queue, above its
+        // size cutoff) against the grid frozen at batch start, then
+        // committed one wire at a time in batch order with re-validation. Batch membership
         // depends only on the queue contents — never the thread count —
         // so the result is bit-identical at any `NCS_THREADS`; conflicts
         // surface as commit failures and re-enter the queue at the same
@@ -264,29 +270,46 @@ pub fn route(
             // private overlay so a multi-pin net respects the congestion
             // it would itself create. `None` means a segment found no
             // capacity-respecting path even on the frozen grid.
-            let plans: Vec<(Option<SegPaths>, u64)> = ncs_par::par_map(&batch, 1, |_, &wid| {
-                let wire = &netlist.wires[wid];
-                let mut overlay = EdgeOverlay::new();
-                let mut seg_paths = Vec::new();
-                let mut expansions = 0u64;
-                for seg in mst_segments(&wire.pins, placement) {
-                    let path = grid_ref.shortest_path(
-                        bin_ref(seg.0),
-                        bin_ref(seg.1),
-                        capacity,
-                        options.congestion_penalty,
-                        &overlay,
-                        options.algorithm,
-                        &mut expansions,
-                    );
-                    let Some(path) = path else {
-                        return (None, expansions);
-                    };
-                    grid_ref.accumulate(&path, &mut overlay);
-                    seg_paths.push(path);
-                }
-                (Some(seg_paths), expansions)
-            });
+            //
+            // Per-wire search cost varies wildly (one congested net may
+            // expand its window repeatedly while seven are trivial), so
+            // the batch runs as a work queue: workers claim wires from
+            // an atomic counter, and `par_map_queue` reassembles the
+            // plans in batch order — commit order below is fixed by net
+            // index regardless of claim order. The cutoff keeps cheap
+            // batches (estimated by grid cells × segments, both pure
+            // functions of the problem) on the calling thread.
+            let cells = grid.cols.saturating_mul(grid.rows);
+            let segments: usize = batch
+                .iter()
+                .map(|&w| netlist.wires[w].pins.len().saturating_sub(1))
+                .sum();
+            let per_wire = cells.saturating_mul(segments.div_ceil(batch.len().max(1)));
+            let cutoff = ncs_par::Cutoff::min_work(ROUTE_PLAN_MIN_WORK).work_per_item(per_wire);
+            let plans: Vec<(Option<SegPaths>, u64)> =
+                ncs_par::par_map_queue(&batch, cutoff, |_, &wid| {
+                    let wire = &netlist.wires[wid];
+                    let mut overlay = EdgeOverlay::new();
+                    let mut seg_paths = Vec::new();
+                    let mut expansions = 0u64;
+                    for seg in mst_segments(&wire.pins, placement) {
+                        let path = grid_ref.shortest_path(
+                            bin_ref(seg.0),
+                            bin_ref(seg.1),
+                            capacity,
+                            options.congestion_penalty,
+                            &overlay,
+                            options.algorithm,
+                            &mut expansions,
+                        );
+                        let Some(path) = path else {
+                            return (None, expansions);
+                        };
+                        grid_ref.accumulate(&path, &mut overlay);
+                        seg_paths.push(path);
+                    }
+                    (Some(seg_paths), expansions)
+                });
             // Commit phase: strictly in batch order. The first plannable
             // wire of every batch commits (its plan was validated against
             // the exact grid it re-validates on), so each batch makes

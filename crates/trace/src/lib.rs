@@ -20,7 +20,10 @@
 //!
 //! Events land in a **per-thread** sink in call order. Instrumentation in
 //! this workspace sits exclusively on *serial control paths* — never
-//! inside `ncs_par` worker closures — so the stream a flow run produces
+//! inside `ncs_par` worker closures (`ncs_par` itself emits its
+//! `par.pool_dispatches` / `par.inline_fallbacks` counters from the
+//! calling thread, and its dispatch decisions are pure functions of
+//! problem size) — so the stream a flow run produces
 //! on its calling thread is a pure function of the inputs: bit-identical
 //! across runs, across `NCS_THREADS` settings, and immune to scheduler
 //! interleaving. The golden-trace and thread-bit-identity tests in

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate on the serial-vs-parallel bench artifact.
+
+Reads a ``BENCH_par.json`` produced by ``bench par`` and fails (exit 1)
+if any kernel's parallel run regressed past the allowed bound versus its
+serial baseline, i.e. ``speedup < threshold``.
+
+The threshold defaults to 0.9: the parallel configuration may pay up to
+10% overhead (dispatch + barrier cost on kernels near their cutoffs) but
+must never be meaningfully slower than the serial path. On a single-core
+host the hardware clamp in ``ncs_par::pool_threads`` routes the
+"parallel" run through the same inline code path as the serial one, so
+the bound holds there too; on multi-core runners it asserts the fix for
+the historical 0.04x-0.75x regressions.
+
+Usage:
+    check_bench_par.py [path/to/BENCH_par.json] [--threshold 0.9]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        default="results/BENCH_par.json",
+        help="bench artifact to check (default: results/BENCH_par.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.9,
+        help="minimum acceptable speedup (serial_ns / parallel_ns)",
+    )
+    args = parser.parse_args()
+
+    with open(args.artifact, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    speedups = data.get("speedups", [])
+    if not speedups:
+        print(f"error: {args.artifact} has no 'speedups' entries", file=sys.stderr)
+        return 1
+
+    hw = data.get("hardware_threads", "?")
+    print(f"{args.artifact}: hardware_threads={hw} threshold={args.threshold}")
+    header = f"{'kernel':<24} {'t_req':>5} {'t_eff':>5} {'serial_ns':>12} {'parallel_ns':>12} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for s in speedups:
+        name = s["name"]
+        threads = s.get("threads", "?")
+        effective = s.get("effective_threads", threads)
+        serial_ns = s["serial_ns"]
+        parallel_ns = s["parallel_ns"]
+        speedup = s.get("speedup")
+        if speedup is None:
+            speedup = serial_ns / parallel_ns if parallel_ns else float("inf")
+        ok = speedup >= args.threshold
+        mark = "" if ok else "  << REGRESSION"
+        print(
+            f"{name:<24} {threads:>5} {effective:>5} {serial_ns:>12} {parallel_ns:>12} {speedup:>8.3f}{mark}"
+        )
+        if not ok:
+            failures.append((name, speedup))
+
+    if failures:
+        print(file=sys.stderr)
+        for name, speedup in failures:
+            print(
+                f"FAIL: {name} speedup {speedup:.3f} < {args.threshold}"
+                " (parallel run slower than serial baseline)",
+                file=sys.stderr,
+            )
+        return 1
+
+    print(f"\nOK: all {len(speedups)} kernels at or above {args.threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
