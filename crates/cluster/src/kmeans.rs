@@ -150,6 +150,7 @@ const ASSIGN_GRAIN: usize = 128;
 /// Labels points `i0..i0 + out.len()` with their nearest centroid,
 /// returning whether any label changed. Shared by the serial and
 /// parallel paths of the Lloyd assignment step.
+// ncs-lint: hot
 fn assign_chunk(
     points: &DenseMatrix,
     centroids: &DenseMatrix,

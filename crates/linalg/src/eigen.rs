@@ -547,6 +547,9 @@ pub(crate) fn tql2(
     if eigen_cutoff(n).engages(n) {
         let mut log: Vec<(usize, f64, f64)> = Vec::new();
         let sweeps = tql2_kernel(d, e, |i, s, c| log.push((i, s, c)))?;
+        // ncs-lint: allow(par-cutoff-discipline) — the eigen_cutoff gate
+        // above already proved n large; Cutoff::NONE keeps the replay
+        // mode decision size-only (thread-count independent).
         ncs_par::par_chunks_mut(
             z.as_mut_slice(),
             TQL2_STRIP_GRAIN * cols,

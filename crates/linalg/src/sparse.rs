@@ -216,6 +216,7 @@ impl CsrMatrix {
     ///
     /// Panics (via slice indexing) if `v` is shorter than `ncols()` or
     /// `out` is shorter than `nrows()`.
+    // ncs-lint: hot
     pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         let out = &mut out[..self.rows];
         // Work per row is the average stored entries per row, so the

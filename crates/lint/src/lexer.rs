@@ -7,10 +7,15 @@
 //!
 //! 1. **Waiver harvesting** — `// ncs-lint: allow(rule-a, rule-b)`
 //!    comments are collected while lexing, so rules never see them and
-//!    the waiver table is exact about which lines they cover.
+//!    the waiver table is exact about which lines they cover. Doc
+//!    comments (`///`, `//!`, `/**`, `/*!`) are prose *about* markers,
+//!    never markers, and are excluded from harvesting.
 //! 2. **Test-region marking** — tokens inside `#[cfg(test)]` / `#[test]`
 //!    items are flagged `in_test`, so rules that only police production
 //!    code can skip them without a full parse.
+//! 3. **Hot-marker harvesting** — `// ncs-lint: hot` comments flag the
+//!    function they precede (or share a line with) as a hot kernel for
+//!    the `alloc-in-hot-loop` rule.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -58,6 +63,10 @@ pub struct LexedFile {
     /// own line; if the comment stands alone on a line, it also covers
     /// the next line that carries code.
     pub waivers: BTreeMap<u32, BTreeSet<String>>,
+    /// 1-indexed lines flagged `// ncs-lint: hot`, normalized the same
+    /// way as waivers (a standalone marker attaches to the next code
+    /// line — typically the `fn` it decorates).
+    pub hot_lines: BTreeSet<u32>,
 }
 
 impl LexedFile {
@@ -67,10 +76,31 @@ impl LexedFile {
             .get(&line)
             .is_some_and(|rules| rules.contains(rule))
     }
+
+    /// Whether `line` carries a `// ncs-lint: hot` marker.
+    pub fn is_hot(&self, line: u32) -> bool {
+        self.hot_lines.contains(&line)
+    }
 }
 
 /// The marker every waiver comment must contain.
 const WAIVER_MARKER: &str = "ncs-lint: allow(";
+
+/// The marker that flags the following function as a hot kernel.
+const HOT_MARKER: &str = "ncs-lint: hot";
+
+/// Whether a `//` comment is a doc comment (`///` or `//!`, but not
+/// `////`, which rustdoc treats as plain).
+fn is_doc_line_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!")
+}
+
+/// Whether a `/* */` comment is a doc comment (`/**` or `/*!`, but not
+/// the empty `/**/` or `/***`).
+fn is_doc_block_comment(text: &str) -> bool {
+    (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+        || text.starts_with("/*!")
+}
 
 /// Lexes `source` into tokens and waivers.
 pub fn lex(source: &str) -> LexedFile {
@@ -78,6 +108,8 @@ pub fn lex(source: &str) -> LexedFile {
     let mut tokens = Vec::new();
     // (line, rules, standalone-so-far) for each waiver comment found.
     let mut raw_waivers: Vec<(u32, Vec<String>)> = Vec::new();
+    // Lines carrying a `// ncs-lint: hot` marker, pre-normalization.
+    let mut raw_hot: Vec<u32> = Vec::new();
     let mut line: u32 = 1;
     let mut col: u32 = 1;
     let mut i = 0usize;
@@ -106,8 +138,13 @@ pub fn lex(source: &str) -> LexedFile {
                 text.push(chars[i]);
                 advance!();
             }
-            for rules in parse_waiver(&text) {
-                raw_waivers.push((tline, rules));
+            if !is_doc_line_comment(&text) {
+                for rules in parse_waiver(&text) {
+                    raw_waivers.push((tline, rules));
+                }
+                if text.contains(HOT_MARKER) {
+                    raw_hot.push(tline);
+                }
             }
         } else if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
             // Block comment, possibly nested.
@@ -134,8 +171,13 @@ pub fn lex(source: &str) -> LexedFile {
                     advance!();
                 }
             }
-            for rules in parse_waiver(&text) {
-                raw_waivers.push((tline, rules));
+            if !is_doc_block_comment(&text) {
+                for rules in parse_waiver(&text) {
+                    raw_waivers.push((tline, rules));
+                }
+                if text.contains(HOT_MARKER) {
+                    raw_hot.push(tline);
+                }
             }
         } else if c == '"' {
             let text = lex_string(&chars, &mut i, &mut line, &mut col);
@@ -143,6 +185,20 @@ pub fn lex(source: &str) -> LexedFile {
         } else if (c == 'r' || c == 'b') && matches!(peek_raw_string(&chars, i), Some(_hashes)) {
             let text = lex_raw_string(&chars, &mut i, &mut line, &mut col);
             push(&mut tokens, TokenKind::Str, text, tline, tcol);
+        } else if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && chars.get(i + 2).is_some_and(|&n| is_ident_start(n))
+        {
+            // Raw identifier (`r#fn`, `r#loop`). Keep the `r#` prefix in
+            // the text so the escaped name never matches a keyword.
+            let mut text = String::from("r#");
+            advance!();
+            advance!();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                advance!();
+            }
+            push(&mut tokens, TokenKind::Ident, text, tline, tcol);
         } else if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '"' {
             advance!(); // consume the `b`
             let mut text = lex_string(&chars, &mut i, &mut line, &mut col);
@@ -194,22 +250,30 @@ pub fn lex(source: &str) -> LexedFile {
     mark_test_regions(&mut tokens);
 
     // Build the waiver table: a waiver covers its own line, and — when no
-    // code token shares that line — the next line that carries code.
+    // code token shares that line — the next line that carries code. Hot
+    // markers attach the same way, landing on the `fn` they decorate.
     let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
-    let mut waivers: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
-    for (wline, rules) in raw_waivers {
-        let target = if code_lines.contains(&wline) {
-            wline
+    let attach = |mline: u32| -> u32 {
+        if code_lines.contains(&mline) {
+            mline
         } else {
             // Standalone comment: attach to the next code line (if any).
-            match code_lines.range(wline..).next() {
+            match code_lines.range(mline..).next() {
                 Some(&next) => next,
-                None => wline,
+                None => mline,
             }
-        };
-        waivers.entry(target).or_default().extend(rules);
+        }
+    };
+    let mut waivers: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for (wline, rules) in raw_waivers {
+        waivers.entry(attach(wline)).or_default().extend(rules);
     }
-    LexedFile { tokens, waivers }
+    let hot_lines: BTreeSet<u32> = raw_hot.into_iter().map(attach).collect();
+    LexedFile {
+        tokens,
+        waivers,
+        hot_lines,
+    }
 }
 
 fn push(tokens: &mut Vec<Token>, kind: TokenKind, text: String, line: u32, col: u32) {
@@ -689,6 +753,89 @@ mod tests {
             .find(|t| t.text == "prod2")
             .expect("prod2 token exists");
         assert!(!prod2.in_test);
+    }
+
+    #[test]
+    fn char_literal_lifetime_battery() {
+        // Every `'` disambiguation the workspace exercises: labeled
+        // loops, `'_` vs `'_'`, escapes, unicode escapes, and a
+        // lifetime at end-of-input.
+        let toks = kinds(concat!(
+            "'outer: loop { break 'outer; }\n",
+            "fn f(x: &'_ str) -> char { '_' }\n",
+            "let q = '\\''; let u = '\\u{1F600}'; let z = '\\\\';\n",
+        ));
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'outer", "'outer", "'_"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'_'", "'\\''", "'\\u{1F600}'", "'\\\\'"]);
+        let eof = kinds("&'a");
+        assert!(eof.contains(&(TokenKind::Lifetime, "'a".into())));
+    }
+
+    #[test]
+    fn nested_raw_strings_inside_macros() {
+        // A raw string inside a macro invocation whose body quotes both
+        // plain strings and a shallower raw string must lex as one Str
+        // token ending at the matching hash depth.
+        let toks = kinds(concat!(
+            "assert_eq!(render(), r##\"outer \"quoted\" and r#\"inner\"# end\"##);\n",
+            "let after = 7;\n",
+        ));
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, ["r##\"outer \"quoted\" and r#\"inner\"# end\"##"]);
+        assert!(toks.contains(&(TokenKind::Int, "7".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        let toks = kinds("let r#fn = r#loop + 1; call(r#fn);");
+        assert!(toks.contains(&(TokenKind::Ident, "r#fn".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "r#loop".into())));
+        // The escaped name must not surface as the bare keyword.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "loop"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_harvest_markers() {
+        let lexed = lex(concat!(
+            "/// Docs quoting `// ncs-lint: allow(no-panic-paths)` syntax.\n",
+            "//! And `// ncs-lint: hot` prose.\n",
+            "/** block doc ncs-lint: allow(float-eq) */\n",
+            "fn f() { let x = 1; }\n",
+        ));
+        assert!(lexed.waivers.is_empty());
+        assert!(lexed.hot_lines.is_empty());
+    }
+
+    #[test]
+    fn hot_marker_attaches_to_next_code_line() {
+        let lexed = lex(concat!(
+            "// ncs-lint: hot\n",
+            "fn kernel(xs: &mut [f64]) {\n",
+            "    inline_hot(); // ncs-lint: hot\n",
+            "}\n",
+        ));
+        assert!(lexed.is_hot(2));
+        assert!(lexed.is_hot(3));
+        assert!(!lexed.is_hot(4));
     }
 
     #[test]

@@ -49,11 +49,32 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// How serious a finding is, driving exit-code policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Invariant violation: always fails the run.
+    Error,
+    /// Hygiene problem (e.g. a stale waiver): fails only under
+    /// `--strict`.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON and GitHub-annotation output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
 
 /// One lint finding with a `file:line:col` span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,16 +91,23 @@ pub struct Diagnostic {
     pub message: String,
     /// Whether an `ncs-lint: allow(...)` waiver covers this finding.
     pub waived: bool,
+    /// Error or warning.
+    pub severity: Severity,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}:{}: [{}] {}{}",
+            "{}:{}:{}: {}[{}] {}{}",
             self.path,
             self.line,
             self.col,
+            if self.severity == Severity::Warning {
+                "warning: "
+            } else {
+                ""
+            },
             self.rule,
             self.message,
             if self.waived { " (waived)" } else { "" }
@@ -91,13 +119,29 @@ impl Diagnostic {
     /// Renders the finding as one JSON object (machine-readable output).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\",\"waived\":{}}}",
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"waived\":{}}}",
             json_escape(&self.path),
             self.line,
             self.col,
             self.rule,
+            self.severity.label(),
             json_escape(&self.message),
             self.waived
+        )
+    }
+
+    /// Renders the finding as a GitHub workflow annotation
+    /// (`::error file=…,line=…,col=…::message`), so findings surface
+    /// inline on pull requests.
+    pub fn to_github(&self) -> String {
+        let kind = if self.waived {
+            "notice"
+        } else {
+            self.severity.label()
+        };
+        format!(
+            "::{} file={},line={},col={}::[{}] {}",
+            kind, self.path, self.line, self.col, self.rule, self.message
         )
     }
 }
@@ -165,13 +209,24 @@ impl FileContext {
     }
 
     /// Strict classification (explicit paths / fixtures): all rules
-    /// apply; hygiene applies to any file named `lib.rs`.
+    /// apply; hygiene applies to any file named `lib.rs`. The crate
+    /// name — which scopes the `crate-layering` DAG — is taken from the
+    /// component after the *last* `crates/` in the path, so layering
+    /// fixtures under `fixtures/crates/<name>/src/` classify as crate
+    /// `<name>` even though the fixture itself lives inside
+    /// `crates/lint`.
     pub fn strict(path: impl Into<String>) -> Self {
         let display = path.into().replace('\\', "/");
         let is_crate_root = display.ends_with("lib.rs");
+        let components: Vec<&str> = display.split('/').collect();
+        let crate_name = components
+            .iter()
+            .rposition(|c| *c == "crates")
+            .and_then(|i| components.get(i + 1))
+            .map(|s| (*s).to_string());
         FileContext {
             path: display,
-            crate_name: None,
+            crate_name,
             is_crate_root,
             is_bin_target: false,
             is_test_code: false,
@@ -289,7 +344,7 @@ mod tests {
     }
 
     #[test]
-    fn diagnostics_render_text_and_json() {
+    fn diagnostics_render_text_json_and_github() {
         let d = Diagnostic {
             rule: "float-eq",
             path: "a.rs".to_string(),
@@ -297,12 +352,36 @@ mod tests {
             col: 7,
             message: "bare `==` on a float".to_string(),
             waived: false,
+            severity: Severity::Error,
         };
         assert_eq!(d.to_string(), "a.rs:3:7: [float-eq] bare `==` on a float");
         assert_eq!(
             d.to_json(),
             "{\"file\":\"a.rs\",\"line\":3,\"col\":7,\"rule\":\"float-eq\",\
+             \"severity\":\"error\",\
              \"message\":\"bare `==` on a float\",\"waived\":false}"
         );
+        assert_eq!(
+            d.to_github(),
+            "::error file=a.rs,line=3,col=7::[float-eq] bare `==` on a float"
+        );
+        let w = Diagnostic {
+            severity: Severity::Warning,
+            ..d
+        };
+        assert_eq!(
+            w.to_string(),
+            "a.rs:3:7: warning: [float-eq] bare `==` on a float"
+        );
+        assert!(w.to_github().starts_with("::warning "));
+    }
+
+    #[test]
+    fn strict_derives_crate_name_from_last_crates_component() {
+        let ctx = FileContext::strict("crates/lint/tests/fixtures/crates/net/src/bad.rs");
+        assert_eq!(ctx.crate_name.as_deref(), Some("net"));
+        assert!(FileContext::strict("fixtures/clean.rs")
+            .crate_name
+            .is_none());
     }
 }

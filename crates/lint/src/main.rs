@@ -1,14 +1,18 @@
 //! CLI for `ncs-lint`.
 //!
 //! ```text
-//! ncs-lint --workspace              lint every crates/*/src file (crate-scoped rules)
+//! ncs-lint [--workspace]            lint every crates/*/src file (crate-scoped
+//!                                   rules); this is the default with no paths
 //! ncs-lint <path>...                lint files/dirs in strict mode (all rules)
-//!   --format text|json              diagnostic output format (default text)
+//!   --format text|json|github      diagnostic output format (default text;
+//!                                   github emits ::error/::warning annotations)
+//!   --strict                        warnings (e.g. stale-waiver) also fail
 //!   --show-waived                   also print findings silenced by waivers
 //!   --list-rules                    print the rule registry and exit
 //! ```
 //!
-//! Exit codes: 0 clean, 1 unwaivered findings, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 unwaivered findings (errors always; warnings
+//! under `--strict`), 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,17 +23,19 @@ use std::process::ExitCode;
 
 use ncs_lint::{
     collect_rust_files, find_workspace_root, lint_file, lint_workspace, rules, Diagnostic,
-    FileContext,
+    FileContext, Severity,
 };
 
 #[derive(PartialEq)]
 enum Format {
     Text,
     Json,
+    Github,
 }
 
 fn main() -> ExitCode {
     let mut workspace = false;
+    let mut strict = false;
     let mut format = Format::Text;
     let mut show_waived = false;
     let mut paths: Vec<PathBuf> = Vec::new();
@@ -38,12 +44,16 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--strict" => strict = true,
             "--show-waived" => show_waived = true,
             "--format" => match args.next().as_deref() {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
                 other => {
-                    eprintln!("ncs-lint: --format expects `text` or `json`, got {other:?}");
+                    eprintln!(
+                        "ncs-lint: --format expects `text`, `json`, or `github`, got {other:?}"
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -55,8 +65,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: ncs-lint [--workspace] [--format text|json] [--show-waived] \
-                     [--list-rules] [paths...]"
+                    "usage: ncs-lint [--workspace] [--strict] [--format text|json|github] \
+                     [--show-waived] [--list-rules] [paths...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -68,9 +78,9 @@ fn main() -> ExitCode {
         }
     }
 
+    // Bare invocation (`cargo run -p ncs-lint`) means the workspace.
     if !workspace && paths.is_empty() {
-        eprintln!("ncs-lint: pass --workspace or at least one path (see --help)");
-        return ExitCode::from(2);
+        workspace = true;
     }
 
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
@@ -125,6 +135,11 @@ fn main() -> ExitCode {
     let total = diagnostics.len();
     let active: Vec<&Diagnostic> = diagnostics.iter().filter(|d| !d.waived).collect();
     let waived = total - active.len();
+    let errors = active
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = active.len() - errors;
 
     match format {
         Format::Text => {
@@ -134,10 +149,12 @@ fn main() -> ExitCode {
                 }
             }
             eprintln!(
-                "ncs-lint: {} finding(s), {} waived, {} active",
+                "ncs-lint: {} finding(s), {} waived, {} active ({} error(s), {} warning(s))",
                 total,
                 waived,
-                active.len()
+                active.len(),
+                errors,
+                warnings
             );
         }
         Format::Json => {
@@ -148,11 +165,26 @@ fn main() -> ExitCode {
                 .collect();
             println!("[{}]", body.join(","));
         }
+        Format::Github => {
+            for d in &diagnostics {
+                if !d.waived || show_waived {
+                    println!("{}", d.to_github());
+                }
+            }
+            eprintln!(
+                "ncs-lint: {} finding(s), {} waived, {} active ({} error(s), {} warning(s))",
+                total,
+                waived,
+                active.len(),
+                errors,
+                warnings
+            );
+        }
     }
 
-    if active.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if errors > 0 || (strict && warnings > 0) {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

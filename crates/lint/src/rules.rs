@@ -1,12 +1,24 @@
 //! The rule registry: every invariant `ncs-lint` enforces.
 //!
-//! Each rule walks the token stream of one file (plus its
-//! [`FileContext`]) and emits [`Diagnostic`]s. Rules never see comments
-//! or string contents — the lexer already classified those — so
-//! `"unwrap"` in a doc example or a format string is never a finding.
+//! Rules come in two layers. *Lexical* rules walk the token stream of
+//! one file (plus its [`FileContext`]) and emit [`Diagnostic`]s; they
+//! never see comments or string contents — the lexer already classified
+//! those — so `"unwrap"` in a doc example or a format string is never a
+//! finding. *Semantic* rules additionally consume the [`crate::syntax`]
+//! layer (call expressions, `use` roots, loop spans, hot functions) for
+//! invariants a flat stream cannot express: `Cutoff` discipline at
+//! `ncs_par` call sites, the crate-layering DAG, wall-clock and
+//! environment-read confinement, and allocation inside hot loops.
+//!
+//! A final meta-check, `stale-waiver`, flags `ncs-lint: allow(...)`
+//! comments that no longer suppress anything (severity warning — fails
+//! only under `--strict`).
+
+use std::collections::BTreeSet;
 
 use crate::lexer::{LexedFile, Token, TokenKind};
-use crate::{Diagnostic, FileContext};
+use crate::syntax::{self, Syntax};
+use crate::{Diagnostic, FileContext, Severity};
 
 /// Crates whose non-test library code must be panic-free.
 pub const PANIC_FREE_CRATES: &[&str] =
@@ -40,6 +52,68 @@ const LOG_MACROS: &[&str] = &["println", "eprintln"];
 /// index math and float widening are pervasive and reviewed case by
 /// case; the narrow targets are where silent precision loss hides.)
 const NARROW_TARGETS: &[&str] = &["f32", "i8", "i16", "i32", "u8", "u16", "u32"];
+
+/// `ncs_par` entry points that take a [`Cutoff`] serial-fallback
+/// threshold as an argument.
+const PAR_PRIMITIVES: &[&str] = &[
+    "par_map",
+    "par_map_reduce",
+    "par_chunks_mut",
+    "team_split_mut",
+    "par_map_queue",
+];
+
+/// Wall-clock types banned outside `ncs-bench` / `ncs-trace`: flow
+/// kernels that read time produce timing-dependent (nondeterministic)
+/// behavior or smuggle benchmarking into library code.
+const WALLCLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Crates allowed to read the wall clock.
+const WALLCLOCK_CRATES: &[&str] = &["bench", "trace"];
+
+/// The designated configuration modules allowed to read `std::env`.
+/// Everything else must take configuration as arguments so runs stay
+/// reproducible from their inputs alone (bin targets are exempt).
+const ENV_ALLOWED_FILES: &[&str] = &[
+    "crates/par/src/lib.rs",
+    "crates/par/src/shadow.rs",
+    "crates/trace/src/lib.rs",
+    "crates/bench/src/harness.rs",
+];
+
+/// The crate-layering DAG: for each crate, the `ncs_*` crates it may
+/// import (`use ncs_x::...`). Mirrors the workspace `Cargo.toml` reality
+/// of core→flow→numerics→infrastructure; a `use` outside this list is a
+/// back-edge that would let a lower layer grow an upward dependency.
+/// Self-imports and `std`/`crate`/`super` roots are always allowed;
+/// `autoncs` is the `core` crate's library name.
+const CRATE_LAYERS: &[(&str, &[&str])] = &[
+    ("rng", &[]),
+    ("tech", &[]),
+    ("trace", &[]),
+    ("lint", &[]),
+    ("par", &["trace"]),
+    ("linalg", &["par", "trace", "rng"]),
+    ("net", &["linalg", "rng"]),
+    ("xbar", &["linalg", "rng"]),
+    ("cluster", &["linalg", "net", "rng", "par", "trace"]),
+    (
+        "phys",
+        &["par", "trace", "linalg", "tech", "cluster", "net", "rng"],
+    ),
+    (
+        "core",
+        &[
+            "par", "trace", "linalg", "tech", "cluster", "net", "xbar", "rng", "phys",
+        ],
+    ),
+    (
+        "bench",
+        &[
+            "par", "trace", "linalg", "tech", "cluster", "net", "xbar", "rng", "phys", "core",
+        ],
+    ),
+];
 
 /// Static description of one lint rule.
 #[derive(Debug, Clone, Copy)]
@@ -88,6 +162,33 @@ pub const RULES: &[Rule] = &[
                   crates; record ncs-trace counters/spans instead (bin \
                   targets are exempt)",
     },
+    Rule {
+        name: "par-cutoff-discipline",
+        summary: "every par_map/par_map_reduce/par_chunks_mut/team_split_mut/\
+                  par_map_queue call site must thread a calibrated Cutoff; \
+                  a literal Cutoff::NONE needs a waiver proving an outer gate",
+    },
+    Rule {
+        name: "no-wallclock",
+        summary: "Instant/SystemTime banned outside ncs-bench/ncs-trace; flow \
+                  kernels must be a pure function of their inputs",
+    },
+    Rule {
+        name: "env-read-audit",
+        summary: "std::env reads confined to the designated config modules \
+                  (ncs-par thread/shadow resolution, ncs-trace gating, the \
+                  bench harness) and bin targets",
+    },
+    Rule {
+        name: "crate-layering",
+        summary: "use declarations must follow the crate DAG (core -> flow -> \
+                  numerics -> infrastructure); no back-edges",
+    },
+    Rule {
+        name: "alloc-in-hot-loop",
+        summary: "no Vec::new/vec![]/to_vec inside loops of functions marked \
+                  `// ncs-lint: hot`; hoist or reuse scratch buffers",
+    },
 ];
 
 /// Runs every applicable rule over one lexed file.
@@ -112,10 +213,31 @@ pub fn check_file(lexed: &LexedFile, ctx: &FileContext) -> Vec<Diagnostic> {
     if ctx.crate_name.as_deref() != Some("par") && !ctx.is_test_code {
         no_adhoc_threads(lexed, ctx, &mut raw);
     }
+    // Semantic rules: consume the syntax layer.
+    let syn = syntax::analyze(lexed);
+    if !ctx.is_test_code {
+        if ctx.crate_name.as_deref() != Some("par") {
+            par_cutoff_discipline(&syn, lexed, ctx, &mut raw);
+        }
+        if ctx.strict
+            || !ctx
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| WALLCLOCK_CRATES.contains(&c))
+        {
+            no_wallclock(lexed, ctx, &mut raw);
+        }
+        if !ctx.is_bin_target {
+            env_read_audit(lexed, ctx, &mut raw);
+        }
+        crate_layering(&syn, ctx, &mut raw);
+        alloc_in_hot_loop(&syn, lexed, ctx, &mut raw);
+    }
     // Apply waivers last so every rule shares the same mechanism.
     for d in &mut raw {
         d.waived = lexed.is_waived(d.rule, d.line);
     }
+    stale_waivers(lexed, ctx, &mut raw);
     raw
 }
 
@@ -138,6 +260,7 @@ fn diag(ctx: &FileContext, rule: &'static str, tok: &Token, message: String) -> 
         col: tok.col,
         message,
         waived: false,
+        severity: Severity::Error,
     }
 }
 
@@ -362,6 +485,283 @@ fn no_adhoc_logging(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnost
     }
 }
 
+/// `par-cutoff-discipline`: every `ncs_par` primitive call must thread
+/// a calibrated `Cutoff`. The heuristic accepts any argument mentioning
+/// the `Cutoff` type or a `*cutoff*` binding/helper; it flags a call
+/// whose arguments mention neither, and flags a literal `Cutoff::NONE`
+/// (the disable-the-fallback escape hatch) unless waived with the outer
+/// size gate spelled out.
+fn par_cutoff_discipline(
+    syn: &Syntax,
+    lexed: &LexedFile,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for call in &syn.calls {
+        if call.in_test {
+            continue;
+        }
+        let callee = call.path.last().map_or("", |s| s.as_str());
+        if !PAR_PRIMITIVES.contains(&callee) {
+            continue;
+        }
+        let args = &toks[call.args.0 + 1..call.args.1];
+        let has_none = args.windows(4).any(|w| {
+            w[0].kind == TokenKind::Ident
+                && w[0].text == "Cutoff"
+                && is_punct(&w[1], ":")
+                && is_punct(&w[2], ":")
+                && w[3].kind == TokenKind::Ident
+                && w[3].text == "NONE"
+        });
+        let has_cutoff = args.iter().any(|t| {
+            t.kind == TokenKind::Ident
+                && (t.text == "Cutoff" || t.text.to_ascii_lowercase().contains("cutoff"))
+        });
+        let anchor = Token {
+            kind: TokenKind::Ident,
+            text: callee.to_string(),
+            line: call.line,
+            col: call.col,
+            in_test: false,
+        };
+        if has_none {
+            out.push(diag(
+                ctx,
+                "par-cutoff-discipline",
+                &anchor,
+                format!(
+                    "{callee} passes Cutoff::NONE, disabling the serial fallback; use a \
+                     calibrated cutoff or waive with the outer size gate spelled out"
+                ),
+            ));
+        } else if !has_cutoff {
+            out.push(diag(
+                ctx,
+                "par-cutoff-discipline",
+                &anchor,
+                format!(
+                    "{callee} does not thread a Cutoff; small inputs will pay the full \
+                     parallel launch cost"
+                ),
+            ));
+        }
+    }
+}
+
+/// `no-wallclock`: `Instant` / `SystemTime` mentions outside the two
+/// crates whose job is timing.
+fn no_wallclock(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for t in &lexed.tokens {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if WALLCLOCK_TYPES.contains(&t.text.as_str()) {
+            out.push(diag(
+                ctx,
+                "no-wallclock",
+                t,
+                format!(
+                    "{} reads the wall clock; flow code must be a pure function of its \
+                     inputs — time things in ncs-bench or ncs-trace",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `env-read-audit`: `std::env` access (`use std::env`, `env::var`,
+/// `std::env::...`) outside the designated configuration modules.
+fn env_read_audit(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ENV_ALLOWED_FILES.iter().any(|f| ctx.path.ends_with(f)) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident || t.text != "env" {
+            continue;
+        }
+        // `env!` / `option_env!` are compile-time macros, not reads.
+        if next_is_punct(toks, i + 1, "!") {
+            continue;
+        }
+        // An `env` path segment: `env::<member>` after, or `std::env`
+        // before.
+        let member_after = next_is_punct(toks, i + 1, ":") && next_is_punct(toks, i + 2, ":");
+        let std_before = i >= 3
+            && is_punct(&toks[i - 1], ":")
+            && is_punct(&toks[i - 2], ":")
+            && toks[i - 3].kind == TokenKind::Ident
+            && toks[i - 3].text == "std";
+        if member_after || std_before {
+            out.push(diag(
+                ctx,
+                "env-read-audit",
+                t,
+                "std::env read outside the designated config modules; thread the \
+                 setting through as an argument so runs replay from inputs alone"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `crate-layering`: `use ncs_*::...` roots must respect the DAG.
+fn crate_layering(syn: &Syntax, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let Some(crate_name) = ctx.crate_name.as_deref() else {
+        return;
+    };
+    let Some(&(_, allowed)) = CRATE_LAYERS.iter().find(|(c, _)| *c == crate_name) else {
+        return;
+    };
+    for decl in &syn.uses {
+        if decl.in_test {
+            continue;
+        }
+        let dep = match decl.root.as_str() {
+            "autoncs" => "core",
+            r => match r.strip_prefix("ncs_") {
+                Some(d) => d,
+                None => continue, // std/crate/super/external-agnostic
+            },
+        };
+        if dep == crate_name || allowed.contains(&dep) {
+            continue;
+        }
+        let anchor = Token {
+            kind: TokenKind::Ident,
+            text: decl.root.clone(),
+            line: decl.line,
+            col: 1,
+            in_test: false,
+        };
+        out.push(diag(
+            ctx,
+            "crate-layering",
+            &anchor,
+            format!(
+                "crate `{crate_name}` may not import `{}`: back-edge in the crate \
+                 DAG (allowed: {})",
+                decl.root,
+                if allowed.is_empty() {
+                    "none".to_string()
+                } else {
+                    allowed.join(", ")
+                }
+            ),
+        ));
+    }
+}
+
+/// `alloc-in-hot-loop`: `Vec::new` / `vec![...]` / `.to_vec()` inside a
+/// loop body of a function marked `// ncs-lint: hot`.
+fn alloc_in_hot_loop(
+    syn: &Syntax,
+    lexed: &LexedFile,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for f in &syn.fns {
+        if !f.is_hot || f.in_test {
+            continue;
+        }
+        let Some((fb0, fb1)) = f.body else {
+            continue;
+        };
+        // Union of loop-body token indices inside this fn (a token in
+        // nested loops is still one site).
+        let mut in_loop: BTreeSet<usize> = BTreeSet::new();
+        for l in &syn.loops {
+            let (lb0, lb1) = l.body;
+            if lb0 > fb0 && lb1 < fb1 {
+                in_loop.extend(lb0 + 1..lb1);
+            }
+        }
+        for &i in &in_loop {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let hit = match t.text.as_str() {
+                "Vec" => {
+                    next_is_punct(toks, i + 1, ":")
+                        && next_is_punct(toks, i + 2, ":")
+                        && toks.get(i + 3).is_some_and(|n| {
+                            n.kind == TokenKind::Ident
+                                && (n.text == "new" || n.text == "with_capacity")
+                        })
+                }
+                "vec" => next_is_punct(toks, i + 1, "!"),
+                "to_vec" => i > 0 && is_punct(&toks[i - 1], "."),
+                _ => false,
+            };
+            if hit {
+                out.push(diag(
+                    ctx,
+                    "alloc-in-hot-loop",
+                    t,
+                    format!(
+                        "`{}` allocates inside a loop of hot kernel `{}`; hoist the \
+                             buffer out of the loop or reuse a scratch allocation",
+                        t.text, f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `stale-waiver` meta-check: every `ncs-lint: allow(...)` comment must
+/// suppress at least one finding of the named rule on its line.
+/// Emitted as warnings so a rule refinement never hard-breaks the
+/// build; `--strict` (CI) promotes them.
+fn stale_waivers(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.is_test_code {
+        return;
+    }
+    // Waivers inside #[cfg(test)] regions guard nothing by construction
+    // (rules skip test tokens) — ignore them rather than flag them.
+    let test_lines: BTreeSet<u32> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.in_test)
+        .map(|t| t.line)
+        .collect();
+    let mut stale = Vec::new();
+    for (&line, rules) in &lexed.waivers {
+        if test_lines.contains(&line) {
+            continue;
+        }
+        for rule in rules {
+            let used = out
+                .iter()
+                .any(|d| d.waived && d.line == line && d.rule == rule);
+            if used {
+                continue;
+            }
+            let known = RULES.iter().any(|r| r.name == rule);
+            let message = if known {
+                format!("waiver for `{rule}` suppresses nothing on this line; remove it")
+            } else {
+                format!("waiver names unknown rule `{rule}` (see --list-rules)")
+            };
+            stale.push(Diagnostic {
+                rule: "stale-waiver",
+                path: ctx.path.clone(),
+                line,
+                col: 1,
+                message,
+                waived: false,
+                severity: Severity::Warning,
+            });
+        }
+    }
+    out.extend(stale);
+}
+
 fn is_punct(t: &Token, text: &str) -> bool {
     t.kind == TokenKind::Punct && t.text == text
 }
@@ -517,5 +917,105 @@ mod tests {
         let ds = check_file(&lex("fn f(x: f64) { x.unwrap(); if x == 0.0 {} }"), &ctx);
         let rules: Vec<_> = ds.iter().map(|d| d.rule).collect();
         assert_eq!(rules, ["float-eq"]);
+    }
+
+    #[test]
+    fn cutoff_discipline_flags_none_and_missing() {
+        let ds = findings(
+            "fn f(xs: &[f64]) { ncs_par::par_map(xs, 4, Cutoff::NONE, |x| *x); \
+             ncs_par::par_map_reduce(xs, 4, |x| *x, 0.0, |a, b| a + b); }",
+        );
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.rule == "par-cutoff-discipline"));
+        assert!(ds[0].message.contains("Cutoff::NONE"));
+        assert!(ds[1].message.contains("does not thread a Cutoff"));
+    }
+
+    #[test]
+    fn cutoff_discipline_accepts_named_cutoffs() {
+        assert!(findings(
+            "fn f(xs: &mut [f64], cutoff: Cutoff) { \
+             ncs_par::par_chunks_mut(xs, 4, cutoff, |_, _| {}); \
+             ncs_par::par_map(xs, 4, eigen_cutoff(xs.len()), |x| *x); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn par_crate_is_exempt_from_cutoff_discipline() {
+        let mut ctx = strict_ctx();
+        ctx.crate_name = Some("par".to_string());
+        let ds = check_file(
+            &lex("fn f(xs: &[f64]) { par_map(xs, 4, Cutoff::NONE, |x| *x); }"),
+            &ctx,
+        );
+        assert!(ds.iter().all(|d| d.rule != "par-cutoff-discipline"));
+    }
+
+    #[test]
+    fn wallclock_banned_outside_timing_crates() {
+        let ds = findings("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "no-wallclock");
+        let mut ctx = strict_ctx();
+        ctx.strict = false;
+        ctx.crate_name = Some("bench".to_string());
+        let ds = check_file(&lex("fn f() { let t = Instant::now(); }"), &ctx);
+        assert!(ds.iter().all(|d| d.rule != "no-wallclock"));
+    }
+
+    #[test]
+    fn env_reads_confined_to_config_modules() {
+        let ds = findings("fn f() -> Option<String> { std::env::var(\"NCS_THREADS\").ok() }");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "env-read-audit");
+        // The compile-time macro and an allowed file are both exempt.
+        assert!(findings("fn v() -> &'static str { env!(\"CARGO_PKG_VERSION\") }").is_empty());
+        let mut ctx = strict_ctx();
+        ctx.path = "crates/par/src/lib.rs".to_string();
+        let ds = check_file(&lex("fn f() { let _ = std::env::var(\"X\"); }"), &ctx);
+        assert!(ds.iter().all(|d| d.rule != "env-read-audit"));
+    }
+
+    #[test]
+    fn layering_flags_back_edges_only() {
+        let mut ctx = strict_ctx();
+        ctx.crate_name = Some("linalg".to_string());
+        let src = "use ncs_par::Cutoff;\nuse ncs_phys::place;\nuse std::fmt;\n";
+        let ds: Vec<_> = check_file(&lex(src), &ctx)
+            .into_iter()
+            .filter(|d| d.rule == "crate-layering")
+            .collect();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 2);
+        assert!(ds[0].message.contains("`ncs_phys`"));
+    }
+
+    #[test]
+    fn hot_loop_allocs_flagged_cold_ignored() {
+        let hot = "// ncs-lint: hot\nfn k(xs: &[u8]) { for x in xs { let v = Vec::new(); } }\n";
+        let ds = findings(hot);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "alloc-in-hot-loop");
+        let cold = "fn k(xs: &[u8]) { for x in xs { let v = Vec::new(); } }\n";
+        assert!(findings(cold).is_empty());
+        // Allocation outside the loop body of a hot fn is fine.
+        let hoisted =
+            "// ncs-lint: hot\nfn k(xs: &[u8]) { let mut v = Vec::new(); for x in xs { v.push(*x); } }\n";
+        assert!(findings(hoisted).is_empty());
+    }
+
+    #[test]
+    fn stale_waivers_warn_but_live_ones_do_not() {
+        let src = "// ncs-lint: allow(no-panic-paths) — nothing here\nfn f() -> usize { 1 }\n";
+        let ds = check_file(&lex(src), &strict_ctx());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "stale-waiver");
+        assert_eq!(ds[0].severity, Severity::Warning);
+        let live = "fn f(x: &Option<u8>) -> u8 { *x.as_ref().unwrap() } \
+                    // ncs-lint: allow(no-panic-paths) — proven Some\n";
+        assert!(check_file(&lex(live), &strict_ctx())
+            .iter()
+            .all(|d| d.rule != "stale-waiver"));
     }
 }

@@ -1,0 +1,7 @@
+//! Fixture: `crate-layering` back-edge — `net` may not import `phys`.
+
+use ncs_linalg::sparse;
+use ncs_phys::place;
+use std::fmt;
+
+fn f() {}

@@ -1,0 +1,25 @@
+//! Fixture: item-outline golden dump.
+
+use std::fmt;
+
+pub struct Wire {
+    pub id: usize,
+}
+
+impl fmt::Display for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.id)
+    }
+}
+
+mod inner {
+    pub const LIMIT: usize = 8;
+
+    pub fn helper(x: usize) -> usize {
+        x.min(LIMIT)
+    }
+}
+
+fn top(w: &Wire) -> usize {
+    w.id
+}

@@ -1,0 +1,3 @@
+fn f(a: usize) -> usize {
+    g(a, [1, 2])
+}

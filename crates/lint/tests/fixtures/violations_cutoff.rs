@@ -1,0 +1,17 @@
+//! Fixture: `par-cutoff-discipline` violations and a compliant call.
+
+fn bad_none(xs: &mut [f64]) {
+    ncs_par::par_chunks_mut(xs, 64, ncs_par::Cutoff::NONE, |_, c| c.reverse());
+}
+
+fn bad_missing(xs: &[f64]) -> f64 {
+    ncs_par::par_map_reduce(xs, 8, |x| *x, 0.0, |a, b| a + b)
+}
+
+fn good_named(xs: &[f64], cutoff: ncs_par::Cutoff) -> Vec<f64> {
+    ncs_par::par_map(xs, 8, cutoff, |x| x + 1.0)
+}
+
+fn good_helper(xs: &[f64]) -> Vec<f64> {
+    ncs_par::par_map(xs, 8, eigen_cutoff(xs.len()), |x| x + 1.0)
+}

@@ -1,0 +1,20 @@
+//! Fixture: `env-read-audit` violations; `env!` compile-time macro and
+//! an `env`-named local stay clean.
+
+use std::env;
+
+fn threads() -> usize {
+    match env::var("NCS_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+fn local_named_env() -> usize {
+    let env = 3;
+    env + 1
+}

@@ -1,0 +1,22 @@
+//! Fixture: `alloc-in-hot-loop` violations in a marked kernel; the
+//! same pattern in an unmarked function stays clean.
+
+// ncs-lint: hot
+fn kernel(rows: &[f64], width: usize) -> usize {
+    let mut total = 0;
+    for row in rows.chunks(width) {
+        let scratch = row.to_vec();
+        let mut extra = Vec::new();
+        extra.extend_from_slice(&scratch);
+        total += vec![0u8; extra.len()].len();
+    }
+    total
+}
+
+fn cold(rows: &[f64], width: usize) -> usize {
+    let mut total = 0;
+    for row in rows.chunks(width) {
+        total += row.to_vec().len();
+    }
+    total
+}

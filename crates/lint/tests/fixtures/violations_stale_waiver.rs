@@ -1,0 +1,16 @@
+//! Fixture: stale and typo'd waivers (warnings; fail under --strict).
+
+// ncs-lint: allow(no-panic-paths) — suppresses nothing below
+fn fine() -> usize {
+    1 + 1 // ncs-lint: allow(flaot-eq) — typo'd rule name
+}
+
+fn used() -> f64 {
+    let x = 0.5;
+    // ncs-lint: allow(float-eq) — exact sentinel, legitimately waived
+    if x == 0.5 {
+        x
+    } else {
+        0.0
+    }
+}

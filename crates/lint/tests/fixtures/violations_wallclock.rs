@@ -1,0 +1,12 @@
+//! Fixture: `no-wallclock` violations.
+
+use std::time::Instant;
+
+fn timed() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn stamped() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

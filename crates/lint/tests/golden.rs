@@ -133,6 +133,158 @@ fn golden_crate_hygiene() {
 }
 
 #[test]
+fn golden_par_cutoff_discipline() {
+    assert_eq!(
+        rendered("violations_cutoff.rs"),
+        [
+            "violations_cutoff.rs:4:14: [par-cutoff-discipline] par_chunks_mut passes \
+             Cutoff::NONE, disabling the serial fallback; use a calibrated cutoff or waive \
+             with the outer size gate spelled out",
+            "violations_cutoff.rs:8:14: [par-cutoff-discipline] par_map_reduce does not \
+             thread a Cutoff; small inputs will pay the full parallel launch cost",
+        ]
+    );
+}
+
+#[test]
+fn golden_no_wallclock() {
+    assert_eq!(
+        rendered("violations_wallclock.rs"),
+        [
+            "violations_wallclock.rs:3:16: [no-wallclock] Instant reads the wall clock; \
+             flow code must be a pure function of its inputs — time things in ncs-bench \
+             or ncs-trace",
+            "violations_wallclock.rs:6:14: [no-wallclock] Instant reads the wall clock; \
+             flow code must be a pure function of its inputs — time things in ncs-bench \
+             or ncs-trace",
+            "violations_wallclock.rs:10:28: [no-wallclock] SystemTime reads the wall clock; \
+             flow code must be a pure function of its inputs — time things in ncs-bench \
+             or ncs-trace",
+            "violations_wallclock.rs:11:16: [no-wallclock] SystemTime reads the wall clock; \
+             flow code must be a pure function of its inputs — time things in ncs-bench \
+             or ncs-trace",
+        ]
+    );
+}
+
+#[test]
+fn golden_env_read_audit() {
+    // `env!("...")` and the local binding named `env` must NOT appear.
+    assert_eq!(
+        rendered("violations_env.rs"),
+        [
+            "violations_env.rs:4:10: [env-read-audit] std::env read outside the designated \
+             config modules; thread the setting through as an argument so runs replay from \
+             inputs alone",
+            "violations_env.rs:7:11: [env-read-audit] std::env read outside the designated \
+             config modules; thread the setting through as an argument so runs replay from \
+             inputs alone",
+        ]
+    );
+}
+
+#[test]
+fn golden_crate_layering() {
+    // `use ncs_linalg` (a forward edge) and `use std` must NOT appear.
+    assert_eq!(
+        rendered("crates/net/src/bad_layering.rs"),
+        [
+            "crates/net/src/bad_layering.rs:4:1: [crate-layering] crate `net` may not \
+             import `ncs_phys`: back-edge in the crate DAG (allowed: linalg, rng)",
+        ]
+    );
+}
+
+#[test]
+fn golden_alloc_in_hot_loop() {
+    // The identical loop in unmarked `cold` must NOT appear.
+    assert_eq!(
+        rendered("violations_hot_alloc.rs"),
+        [
+            "violations_hot_alloc.rs:8:27: [alloc-in-hot-loop] `to_vec` allocates inside a \
+             loop of hot kernel `kernel`; hoist the buffer out of the loop or reuse a \
+             scratch allocation",
+            "violations_hot_alloc.rs:9:25: [alloc-in-hot-loop] `Vec` allocates inside a \
+             loop of hot kernel `kernel`; hoist the buffer out of the loop or reuse a \
+             scratch allocation",
+            "violations_hot_alloc.rs:11:18: [alloc-in-hot-loop] `vec` allocates inside a \
+             loop of hot kernel `kernel`; hoist the buffer out of the loop or reuse a \
+             scratch allocation",
+        ]
+    );
+}
+
+#[test]
+fn golden_stale_waiver() {
+    // The live float-eq waiver on line 10 must NOT be reported stale;
+    // stale/typo'd waivers come out as warnings, not errors.
+    assert_eq!(
+        rendered("violations_stale_waiver.rs"),
+        [
+            "violations_stale_waiver.rs:11:10: [float-eq] bare `==` on a float; compare \
+             with a tolerance, or waive an exact sentinel check (waived)",
+            "violations_stale_waiver.rs:4:1: warning: [stale-waiver] waiver for \
+             `no-panic-paths` suppresses nothing on this line; remove it",
+            "violations_stale_waiver.rs:5:1: warning: [stale-waiver] waiver names unknown \
+             rule `flaot-eq` (see --list-rules)",
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Structure dumps: token trees and the item outline
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_item_outline_dump() {
+    let source =
+        fs::read_to_string(fixture_dir().join("outline_demo.rs")).expect("fixture readable");
+    let syn = ncs_lint::syntax::analyze(&ncs_lint::lexer::lex(&source));
+    assert_eq!(
+        ncs_lint::syntax::render_outline(&syn.items),
+        concat!(
+            "use std @3\n",
+            "struct Wire @5\n",
+            "impl Wire @9\n",
+            "  fn fmt @10\n",
+            "mod inner @15\n",
+            "  const LIMIT @16\n",
+            "  fn helper @18\n",
+            "fn top @23\n",
+        )
+    );
+}
+
+#[test]
+fn golden_token_tree_dump() {
+    let source = fs::read_to_string(fixture_dir().join("tree_demo.rs")).expect("fixture readable");
+    let lexed = ncs_lint::lexer::lex(&source);
+    assert_eq!(
+        ncs_lint::syntax::render_token_trees(&lexed.tokens),
+        concat!(
+            "Ident `fn` @1\n",
+            "Ident `f` @1\n",
+            "group ( @1\n",
+            "  Ident `a` @1\n",
+            "  Punct `:` @1\n",
+            "  Ident `usize` @1\n",
+            "Punct `-` @1\n",
+            "Punct `>` @1\n",
+            "Ident `usize` @1\n",
+            "group { @1\n",
+            "  Ident `g` @2\n",
+            "  group ( @2\n",
+            "    Ident `a` @2\n",
+            "    Punct `,` @2\n",
+            "    group [ @2\n",
+            "      Int `1` @2\n",
+            "      Punct `,` @2\n",
+            "      Int `2` @2\n",
+        )
+    );
+}
+
+#[test]
 fn golden_waived_fixture_is_fully_waived() {
     let all = rendered("waived.rs");
     assert_eq!(all.len(), 5, "expected 5 waived findings, got: {all:#?}");
@@ -165,6 +317,11 @@ fn cli_violation_fixtures_exit_nonzero() {
         "violations_threads.rs",
         "violations_logging.rs",
         "bad_root/src/lib.rs",
+        "violations_cutoff.rs",
+        "violations_wallclock.rs",
+        "violations_env.rs",
+        "violations_hot_alloc.rs",
+        "crates/net/src/bad_layering.rs",
     ] {
         let out = lint_cmd()
             .arg(fixture_dir().join(fixture))
@@ -224,9 +381,66 @@ fn cli_show_waived_reveals_suppressed_findings() {
 }
 
 #[test]
+fn cli_github_format_emits_annotations() {
+    let out = lint_cmd()
+        .args(["--format", "github"])
+        .arg(fixture_dir().join("violations_float_eq.rs"))
+        .output()
+        .expect("ncs-lint runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let annotations: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("::error file="))
+        .collect();
+    assert_eq!(annotations.len(), 3, "stdout: {stdout}");
+    assert!(
+        annotations[0].contains(",line=4,col=7::[float-eq]"),
+        "stdout: {stdout}"
+    );
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn cli_stale_waivers_are_warnings_gated_by_strict() {
+    let target = fixture_dir().join("violations_stale_waiver.rs");
+    let lenient = lint_cmd().arg(&target).output().expect("ncs-lint runs");
+    assert_eq!(
+        lenient.status.code(),
+        Some(0),
+        "warnings alone must not fail without --strict; stdout: {}",
+        String::from_utf8_lossy(&lenient.stdout)
+    );
+    let strict = lint_cmd()
+        .arg("--strict")
+        .arg(&target)
+        .output()
+        .expect("ncs-lint runs");
+    assert_eq!(strict.status.code(), Some(1));
+    let github = lint_cmd()
+        .args(["--format", "github", "--strict"])
+        .arg(&target)
+        .output()
+        .expect("ncs-lint runs");
+    let stdout = String::from_utf8_lossy(&github.stdout);
+    assert_eq!(
+        stdout
+            .lines()
+            .filter(|l| l.starts_with("::warning file="))
+            .count(),
+        2,
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
 fn cli_usage_error_exits_two() {
-    let out = lint_cmd().output().expect("ncs-lint runs");
-    assert_eq!(out.status.code(), Some(2));
+    let unknown = lint_cmd().arg("--bogus").output().expect("ncs-lint runs");
+    assert_eq!(unknown.status.code(), Some(2));
+    let bad_format = lint_cmd()
+        .args(["--format", "yaml"])
+        .output()
+        .expect("ncs-lint runs");
+    assert_eq!(bad_format.status.code(), Some(2));
 }
 
 /// The workspace self-check: the tree this test runs in must itself be
@@ -239,7 +453,7 @@ fn workspace_is_lint_clean() {
         .and_then(Path::parent)
         .expect("crates/lint sits two levels below the workspace root");
     let out = lint_cmd()
-        .arg("--workspace")
+        .args(["--workspace", "--strict"])
         .current_dir(root)
         .output()
         .expect("ncs-lint runs");

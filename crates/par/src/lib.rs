@@ -41,6 +41,18 @@
 //! single result bit. An explicit override is exempt from the cap so
 //! determinism tests can still force genuinely oversubscribed teams.
 //!
+//! # Shadow-access checking
+//!
+//! `NCS_SHADOW=1` (or [`set_shadow_override`]) arms an in-house race
+//! detector for the two invariants bit-identity rests on: mutable-split
+//! launches ([`par_chunks_mut`], [`team_split_mut`]) verify their
+//! worker claim tables — pairwise disjoint, covering the input exactly
+//! — before any worker spawns, and every [`SharedF64Buf`] store is
+//! recorded against the writer's `(worker, barrier phase)` so two
+//! workers publishing one slot between the same pair of barriers is
+//! reported as the unordered (racy) write it is. Off by default; see
+//! [`shadow`] for the contract.
+//!
 //! # Example
 //!
 //! ```
@@ -63,6 +75,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod shadow;
+
+pub use shadow::set_shadow_override;
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -264,6 +280,21 @@ fn worker_runs(chunks: usize, workers: usize) -> impl Iterator<Item = Range<usiz
     (0..workers).map(move |w| (w * chunks / workers)..((w + 1) * chunks / workers))
 }
 
+/// The element-range claim table of a launch: worker `w` owns
+/// `claims[w]`. This single table both feeds the `split_at_mut` loop
+/// and is what the shadow-access checker verifies, so the ranges the
+/// checker approves are exactly the ranges the workers receive.
+fn worker_elem_claims(
+    chunks: usize,
+    workers: usize,
+    grain: usize,
+    len: usize,
+) -> Vec<Range<usize>> {
+    worker_runs(chunks, workers)
+        .map(|run| (run.start * grain).min(len)..(run.end * grain).min(len))
+        .collect()
+}
+
 /// Applies `f` to every chunk of `data` (mutably), returning the
 /// per-chunk results in chunk order.
 ///
@@ -283,6 +314,10 @@ where
     let chunks = chunk_count(len, grain);
     let workers = launch_workers(len, chunks, cutoff);
     if workers <= 1 {
+        if shadow::enabled() {
+            let grid: Vec<Range<usize>> = chunk_ranges(len, grain).collect();
+            shadow::check_launch("par_chunks_mut", len, &grid);
+        }
         let mut out = Vec::with_capacity(chunks);
         let mut start = 0;
         for chunk in data.chunks_mut(grain) {
@@ -291,19 +326,23 @@ where
         }
         return out;
     }
+    let claims = worker_elem_claims(chunks, workers, grain, len);
+    if shadow::enabled() {
+        // Verified before any worker spawns: a bad claim table panics on
+        // the launching thread, never stranding workers at a barrier.
+        shadow::check_launch("par_chunks_mut", len, &claims);
+    }
     let mut per_worker: Vec<Vec<A>> = Vec::with_capacity(workers);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         let mut rest = data;
-        let mut elem0 = 0usize;
-        for run in worker_runs(chunks, workers) {
-            let elem_end = (run.end * grain).min(len);
-            let (mine, tail) = rest.split_at_mut(elem_end - elem0);
+        for claim in &claims {
+            let (mine, tail) = rest.split_at_mut(claim.end - claim.start);
             rest = tail;
-            let base = elem0;
+            let base = claim.start;
             let fref = &f;
             handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(run.len());
+                let mut out = Vec::with_capacity(chunk_count(mine.len(), grain));
                 let mut start = base;
                 for chunk in mine.chunks_mut(grain) {
                     out.push(fref(start, chunk));
@@ -311,7 +350,6 @@ where
                 }
                 out
             }));
-            elem0 = elem_end;
         }
         for h in handles {
             per_worker.push(join(h));
@@ -515,6 +553,9 @@ impl TeamCtx<'_> {
     /// [`SharedF64Buf`] before the barrier is visible after it.
     pub fn sync(&self) {
         self.barrier.wait();
+        // Barriers are collective, so every worker's shadow phase
+        // counter advances in lockstep (a no-op outside shadow mode).
+        shadow::bump_phase();
     }
 
     /// Whether `item` falls in this worker's owned range.
@@ -576,29 +617,36 @@ where
             total_items,
             barrier: &barrier,
         };
+        let _identity = shadow::enter_team(0);
         return vec![body(ctx, data)];
+    }
+    let claims = worker_elem_claims(blocks, workers, grain, total_items);
+    if shadow::enabled() {
+        // Verified before any worker spawns: a bad claim table panics on
+        // the launching thread, never stranding workers at a barrier.
+        shadow::check_launch("team_split_mut", total_items, &claims);
     }
     let barrier = SpinBarrier::new(workers);
     let mut results: Vec<R> = Vec::with_capacity(workers);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         let mut rest = data;
-        let mut item0 = 0usize;
-        for (w, run) in worker_runs(blocks, workers).enumerate() {
-            let item_end = (run.end * grain).min(total_items);
-            let (mine, tail) = rest.split_at_mut((item_end - item0) * item_len);
+        for (w, claim) in claims.iter().enumerate() {
+            let (mine, tail) = rest.split_at_mut((claim.end - claim.start) * item_len);
             rest = tail;
             let ctx = TeamCtx {
                 worker: w,
                 workers,
-                first_item: item0,
-                items: item_end - item0,
+                first_item: claim.start,
+                items: claim.end - claim.start,
                 total_items,
                 barrier: &barrier,
             };
             let bref = &body;
-            handles.push(scope.spawn(move || bref(ctx, mine)));
-            item0 = item_end;
+            handles.push(scope.spawn(move || {
+                let _identity = shadow::enter_team(ctx.worker);
+                bref(ctx, mine)
+            }));
         }
         for h in handles {
             results.push(join(h));
@@ -617,6 +665,9 @@ where
 /// atomic word).
 pub struct SharedF64Buf {
     bits: Vec<AtomicU64>,
+    /// Shadow-access tracking, snapshotted from [`shadow::enabled`] at
+    /// construction; `None` (the default) costs one branch per store.
+    shadow: Option<shadow::ShadowSlots>,
 }
 
 impl SharedF64Buf {
@@ -624,6 +675,7 @@ impl SharedF64Buf {
     pub fn new(len: usize) -> Self {
         SharedF64Buf {
             bits: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            shadow: shadow::enabled().then(shadow::ShadowSlots::new),
         }
     }
 
@@ -639,12 +691,25 @@ impl SharedF64Buf {
 
     /// Stores `value` into slot `i` (bit-exact).
     pub fn set(&self, i: usize, value: f64) {
+        if let Some(slots) = &self.shadow {
+            slots.record(i);
+        }
         self.bits[i].store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Loads slot `i` (bit-exact).
     pub fn get(&self, i: usize) -> f64 {
         f64::from_bits(self.bits[i].load(Ordering::Relaxed))
+    }
+
+    /// Drains the shadow-access violations recorded on this buffer:
+    /// same-slot writes by different workers within one barrier phase.
+    /// Always empty when the buffer was created with the shadow checker
+    /// disabled (writes are then untracked).
+    pub fn shadow_violations(&self) -> Vec<String> {
+        self.shadow
+            .as_ref()
+            .map_or_else(Vec::new, shadow::ShadowSlots::take_violations)
     }
 }
 
@@ -975,6 +1040,86 @@ mod tests {
             buf.set(1, v);
             assert_eq!(buf.get(1).to_bits(), v.to_bits());
         }
+    }
+
+    #[test]
+    fn shadow_checker_passes_clean_launches() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_shadow_override(Some(true));
+        set_thread_override(Some(3));
+        let before = shadow::violation_count();
+        let mut data = vec![0u32; 37];
+        par_chunks_mut(&mut data, 4, Cutoff::NONE, |_, c| {
+            for x in c.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+        let buf = SharedF64Buf::new(8);
+        let mut rows = vec![0.0f64; 8];
+        team_split_mut(&mut rows, 1, 1, Cutoff::NONE, |ctx, mine| {
+            // Each worker publishes only its own slots: disjoint by
+            // construction, so the checker must stay silent.
+            for k in 0..mine.len() {
+                buf.set(ctx.first_item + k, ctx.worker as f64);
+            }
+            ctx.sync();
+        });
+        assert!(buf.shadow_violations().is_empty());
+        assert_eq!(shadow::violation_count(), before);
+        set_thread_override(None);
+        set_shadow_override(None);
+    }
+
+    #[test]
+    fn shadow_checker_catches_same_phase_slot_conflict() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_shadow_override(Some(true));
+        set_thread_override(Some(2));
+        let before = shadow::violation_count();
+        let buf = SharedF64Buf::new(4);
+        let mut rows = vec![0.0f64; 8]; // 2 grain-4 blocks => 2 workers
+        team_split_mut(&mut rows, 1, 4, Cutoff::NONE, |ctx, _mine| {
+            // Both workers store slot 0 between the same barrier pair:
+            // an unordered publication the barrier cannot sequence.
+            buf.set(0, ctx.worker as f64);
+            ctx.sync();
+        });
+        let v = buf.shadow_violations();
+        assert_eq!(v.len(), 1, "expected exactly one conflict: {v:?}");
+        assert!(v[0].contains("slot 0"), "{}", v[0]);
+        assert_eq!(shadow::violation_count(), before + 1);
+        set_thread_override(None);
+        set_shadow_override(None);
+    }
+
+    #[test]
+    fn deliberately_overlapping_chunk_claims_are_caught() {
+        // The claim table a buggy worker-run split would hand to
+        // par_chunks_mut: each worker's end rounds up one extra chunk,
+        // so every boundary chunk gains a second writer.
+        let (len, grain, workers) = (100usize, 10usize, 4usize);
+        let chunks = chunk_count(len, grain);
+        let buggy: Vec<Range<usize>> = (0..workers)
+            .map(|w| {
+                let start = w * chunks / workers * grain;
+                let end = ((w + 1) * chunks / workers * grain + grain).min(len);
+                start..end
+            })
+            .collect();
+        let err = shadow::verify_claims(len, &buggy).unwrap_err();
+        assert!(matches!(err, shadow::ShadowError::Overlap { .. }), "{err}");
+        // The exact table the real split computes passes.
+        assert_eq!(
+            shadow::verify_claims(len, &worker_elem_claims(chunks, workers, grain, len)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow-access checker")]
+    fn launch_assertion_panics_on_bad_claims() {
+        shadow::check_launch("par_chunks_mut", 10, &[0..6, 4..10]);
     }
 
     #[test]

@@ -724,6 +724,7 @@ fn bell(t: f64, w: f64) -> (f64, f64) {
 /// `a_ij · O_x · O_y` where `O` are bell potentials over virtual widths
 /// `ω·w`. Uses a spatial hash so only interacting pairs are visited.
 /// Optionally accumulates the gradient.
+// ncs-lint: hot
 fn density(netlist: &Netlist, p: &[f64], omega: f64, grad: Option<&mut [f64]>) -> f64 {
     let n = netlist.cells.len();
     let (xs, ys) = p.split_at(n);

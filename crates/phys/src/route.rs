@@ -633,6 +633,7 @@ impl Grid {
     /// `f64::INFINITY` when no usable edge leaves the window (in
     /// particular whenever the window covers the whole grid).
     #[allow(clippy::too_many_arguments)]
+    // ncs-lint: hot
     fn search(
         &self,
         scratch: &mut RouteScratch,

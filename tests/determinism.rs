@@ -601,6 +601,47 @@ fn par_map_queue_preserves_item_order_across_thread_counts() {
 }
 
 #[test]
+fn full_flow_is_clean_under_the_shadow_access_checker() {
+    // Re-runs the end-to-end flow with the shadow-access checker armed
+    // (the same switch CI's NCS_SHADOW=1 legs flip via the env): every
+    // par_chunks_mut / team_split_mut launch re-verifies its claim table
+    // and every SharedF64Buf slot write is checked for same-phase
+    // conflicts. Enabling the checker is safe to interleave with the
+    // other tests in this binary — it only ever adds verification.
+    let before = ncs_par::shadow::violation_count();
+    ncs_par::set_shadow_override(Some(true));
+    let shadowed = run_once();
+    ncs_par::set_shadow_override(None);
+    assert_eq!(
+        ncs_par::shadow::violation_count(),
+        before,
+        "shadow-access checker observed a write conflict in the flow"
+    );
+    // The checker must be an observer only: bits match the unshadowed run.
+    assert_eq!(shadowed, run_once());
+}
+
+#[test]
+fn overlapping_claim_tables_are_rejected_before_launch() {
+    use ncs_par::shadow::{verify_claims, ShadowError};
+    // The exact claim table the deterministic grid would produce passes…
+    assert_eq!(verify_claims(10, &[0..4, 4..8, 8..10]), Ok(()));
+    // …while overlap, gaps, and out-of-bounds claims are each rejected.
+    assert!(matches!(
+        verify_claims(10, &[0..6, 4..10]),
+        Err(ShadowError::Overlap { .. })
+    ));
+    assert!(matches!(
+        verify_claims(10, &[0..4, 6..10]),
+        Err(ShadowError::Gap { .. })
+    ));
+    assert!(matches!(
+        verify_claims(10, &[0..4, 4..12]),
+        Err(ShadowError::OutOfBounds { .. })
+    ));
+}
+
+#[test]
 fn thread_count_zero_resolves_to_the_hardware_default() {
     // NCS_THREADS=0 and set_thread_override(Some(0)) now share one
     // meaning: "use the hardware default". The env side is a pure
