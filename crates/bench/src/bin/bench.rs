@@ -16,6 +16,7 @@
 //!   physical_design   placement (autoncs vs fullcro) and maze routing
 //!   place             incremental detailed swap vs full-recompute reference
 //!   route             windowed A* router vs full-grid Dijkstra reference
+//!   scale             sparse-first gen→cluster→map at 2k-20k neurons
 //!   xbar              ideal vs IR-drop crossbar evaluation
 //! ```
 //!
@@ -27,7 +28,8 @@
 use autoncs::AutoNcs;
 use ncs_bench::{report_artifact, testbench, BenchGroup, SEED};
 use ncs_cluster::{
-    full_crossbar, gcp, kmeans, msc, spectral_embedding, traversing, GcpOptions, Isc, IscOptions,
+    full_crossbar, gcp, kmeans, msc, spectral_embedding, traversing, CompressionOptions,
+    GcpOptions, GroupDeletionOptions, Isc, IscOptions,
 };
 use ncs_linalg::optimize::{minimize, CgOptions};
 use ncs_linalg::{CsrMatrix, DenseMatrix, SymmetricEigen, Triplet};
@@ -50,6 +52,7 @@ fn main() {
         "physical_design",
         "place",
         "route",
+        "scale",
         "xbar",
     ];
     let groups: Vec<&str> = if requested.is_empty() {
@@ -67,6 +70,7 @@ fn main() {
             "physical_design" => physical_design(),
             "place" => place_hot_path(),
             "route" => route_hot_path(),
+            "scale" => scale(),
             "xbar" => xbar(),
             other => {
                 eprintln!("unknown bench group {other:?}; known: {all:?}");
@@ -460,6 +464,85 @@ fn place_hot_path() {
     }
     ncs_par::set_thread_override(None);
     report_artifact(&group.write_json());
+}
+
+/// Scale benches for the sparse-first pipeline: generate a block-sparse
+/// network and map it (ISC with Group-Scissor compression: rank clipping
+/// plus group connection deletion) at 2k-20k neurons. Writes a bespoke
+/// `results/BENCH_scale.json` carrying, per size, the gen/map medians,
+/// the connection count, the peak RSS of the map run (VmHWM, reset
+/// between sizes), and the footprint a dense `8n²` matrix would have
+/// needed — `scripts/check_bench_scale.py` gates a sub-quadratic
+/// wall-clock fit and an O(nnz)-style memory bound on that file. Sizes
+/// run in ascending order so the watermark is meaningful even where the
+/// reset is unsupported. Defaults to 3 samples (a 20k map run is tens of
+/// seconds); `NCS_BENCH_SAMPLES` overrides as usual.
+fn scale() {
+    use std::fmt::Write as _;
+
+    println!("[bench] scale");
+    let samples = std::env::var("NCS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s: &usize| s > 0)
+        .unwrap_or(3);
+    let mut group = BenchGroup::new("scale").samples(samples).warmup(0);
+    let opts = IscOptions {
+        seed: SEED,
+        compression: CompressionOptions {
+            rank_clip: Some(48),
+            group_deletion: Some(GroupDeletionOptions::default()),
+        },
+        ..IscOptions::default()
+    };
+    let mut rows = String::new();
+    let mut reset_supported = true;
+    for (idx, &n) in [2000usize, 5000, 10_000, 20_000].iter().enumerate() {
+        let gen_ns = group
+            .bench(&format!("gen/{n}"), || {
+                generators::block_sparse(n, 64, 0.5, 2, SEED).unwrap()
+            })
+            .median_ns;
+        let (net, _) = generators::block_sparse(n, 64, 0.5, 2, SEED).unwrap();
+        let nnz = net.connections();
+        reset_supported &= ncs_bench::memory::reset_peak_rss();
+        let map_ns = group
+            .bench(&format!("map/{n}"), || {
+                Isc::new(opts.clone()).run(&net).unwrap()
+            })
+            .median_ns;
+        let peak = ncs_bench::memory::peak_rss_bytes().unwrap_or(0);
+        // Correctness outside the timed loop: the mapping still covers
+        // every connection at every scale.
+        let mapping = Isc::new(opts.clone()).run(&net).unwrap();
+        mapping.verify_covers(&net).unwrap();
+        let dense_bytes = 8 * (n as u64) * (n as u64);
+        if idx > 0 {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n    {{\"n\": {n}, \"nnz\": {nnz}, \"gen_median_ns\": {gen_ns}, \
+             \"map_median_ns\": {map_ns}, \"peak_rss_bytes\": {peak}, \
+             \"dense_bytes\": {dense_bytes}, \"crossbars\": {}, \"outliers\": {}}}",
+            mapping.crossbars().len(),
+            mapping.outliers().len()
+        );
+        println!(
+            "  scale/{n}: nnz {nnz}, peak {:.1} MiB (dense would be {:.1} MiB)",
+            peak as f64 / (1u64 << 20) as f64,
+            dense_bytes as f64 / (1u64 << 20) as f64
+        );
+    }
+    let json = format!(
+        "{{\n  \"group\": \"scale\",\n  \"samples\": {},\n  \"hardware_threads\": {},\n  \
+         \"peak_rss_supported\": {},\n  \"sizes\": [{}\n  ]\n}}\n",
+        samples,
+        group.hardware_threads(),
+        reset_supported,
+        rows
+    );
+    report_artifact(&ncs_bench::write_text("BENCH_scale.json", &json));
 }
 
 /// Benches for the analog crossbar device model: ideal dot product vs the

@@ -131,6 +131,15 @@ impl BenchGroup {
         self
     }
 
+    /// Overrides the warmup iteration count. Groups whose single
+    /// iteration costs tens of seconds (the 20k-neuron scale benches)
+    /// opt out of warmup entirely — at that runtime the caches are a
+    /// rounding error and the medians are already over full pipelines.
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
     /// Times `f` and records the result under `name`. The closure's return
     /// value is passed through [`black_box`] so the optimizer cannot
     /// discard the computation.

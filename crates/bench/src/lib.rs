@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod memory;
 
 pub use harness::{BenchGroup, BenchResult, Speedup, StageTime};
 

@@ -1,0 +1,74 @@
+//! Peak-memory probe for the scale benches.
+//!
+//! The workspace forbids `unsafe` in every crate (the `crate-hygiene`
+//! lint), which rules out a counting `GlobalAlloc` wrapper. Instead the
+//! probe reads the kernel's per-process resident-set high-water mark
+//! (`VmHWM` in `/proc/self/status`) and resets it between measurements by
+//! writing `5` to `/proc/self/clear_refs` — both plain file I/O. The
+//! number is a *process* peak, so it includes the binary, allocator slack,
+//! and the bit-packed connection matrix, not just f64 buffers; the scale
+//! gate accounts for that by comparing against the dense-matrix footprint
+//! (`8n²` bytes) the sparse pipeline is required to avoid.
+//!
+//! On non-Linux hosts both calls degrade gracefully ([`peak_rss_bytes`]
+//! returns `None`, [`reset_peak_rss`] returns `false`) and the artifact
+//! marks its memory column unsupported so the gate skips it.
+
+use std::fs;
+
+/// Resets the kernel's peak-RSS high-water mark for this process so the
+/// next [`peak_rss_bytes`] read reflects only allocations made after this
+/// call. Returns whether the reset took effect (it requires a writable
+/// `/proc/self/clear_refs`, i.e. Linux).
+pub fn reset_peak_rss() -> bool {
+    fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Current peak resident-set size of this process in bytes (`VmHWM`),
+/// or `None` where `/proc` is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_reads_a_plausible_value_on_linux() {
+        if let Some(peak) = peak_rss_bytes() {
+            // Any live test process has at least a megabyte resident and
+            // far less than a terabyte.
+            assert!(peak > 1 << 20, "peak {peak} implausibly small");
+            assert!(peak < 1 << 40, "peak {peak} implausibly large");
+        }
+    }
+
+    #[test]
+    fn reset_then_grow_raises_the_watermark() {
+        if !reset_peak_rss() {
+            return; // non-Linux or restricted /proc: nothing to check
+        }
+        let before = peak_rss_bytes().unwrap();
+        // Touch ~32 MiB so the RSS genuinely grows past the reset mark.
+        let v = vec![1u8; 32 << 20];
+        let after = peak_rss_bytes().unwrap();
+        assert!(v.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        assert!(
+            after >= before,
+            "watermark moved backwards: {before} -> {after}"
+        );
+        assert!(
+            after - before >= 16 << 20,
+            "allocating 32 MiB raised the watermark by only {}",
+            after - before
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Group-Scissor-style network compression (arxiv 1702.03443, same
+//! authors as the source paper).
+//!
+//! Group Scissor makes DNN-scale networks crossbar-mappable with two
+//! moves: **rank clipping** (bound the rank of the spectral structure the
+//! mapper works with) and **group connection deletion** (zero out whole
+//! sparse groups of the connection matrix so they never compete for
+//! crossbar area). This module adapts both to the lossless AutoNCS
+//! setting: deleted group connections are not dropped from the network —
+//! they are pre-classified as discrete-synapse outliers, so the final
+//! hybrid mapping still covers every connection; rank clipping caps the
+//! Lanczos embedding width, bounding the O(n·m) working set of the
+//! sparse-first pipeline. Both stages sit behind explicit options and are
+//! **off by default** — the paper-faithful flow is unchanged unless a
+//! caller opts in.
+
+use ncs_net::ConnectionMatrix;
+
+use crate::ClusterError;
+
+/// Optional compression stages applied before ISC clustering.
+///
+/// The default has every stage disabled — constructing
+/// [`IscOptions`](crate::IscOptions) without touching `compression`
+/// reproduces the uncompressed flow bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompressionOptions {
+    /// Hard cap on the number of Lanczos embedding columns (Group
+    /// Scissor's rank clipping, applied to the spectral embedding
+    /// instead of the weight matrices). `None` leaves the budget at the
+    /// cluster-count-derived width.
+    pub rank_clip: Option<usize>,
+    /// Group connection deletion: connections inside sufficiently sparse
+    /// `group_size × group_size` blocks are routed as discrete synapses
+    /// up front instead of being clustered. `None` disables the stage.
+    pub group_deletion: Option<GroupDeletionOptions>,
+}
+
+impl CompressionOptions {
+    /// Whether any stage is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.rank_clip.is_some() || self.group_deletion.is_some()
+    }
+}
+
+/// Parameters for the group-connection-deletion stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupDeletionOptions {
+    /// Neurons per group; the matrix is tiled into consecutive
+    /// `group_size`-wide row/column bands like the FullCro baseline.
+    pub group_size: usize,
+    /// A non-empty group block whose density (connections over block
+    /// area) is at most this value is deleted wholesale. `0.0` deletes
+    /// only blocks that cannot pay for crossbar area at all (impossible,
+    /// so effectively nothing); small values like `0.02` prune the
+    /// bridge blocks of block-sparse networks.
+    pub max_group_density: f64,
+}
+
+impl Default for GroupDeletionOptions {
+    /// Crossbar-aligned 64-neuron groups; blocks at or below 2 % density
+    /// are deleted.
+    fn default() -> Self {
+        GroupDeletionOptions {
+            group_size: 64,
+            max_group_density: 0.02,
+        }
+    }
+}
+
+/// Outcome of [`group_connection_deletion`]: the compressed network plus
+/// the deleted connections (which the caller must keep routable — ISC
+/// appends them to the outlier list so coverage is preserved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDeletionReport {
+    /// Number of group blocks that were deleted.
+    pub groups_deleted: usize,
+    /// The deleted connections, in row-major order.
+    pub deleted: Vec<(usize, usize)>,
+}
+
+/// Deletes every connection that falls in a sparse group block.
+///
+/// The matrix is tiled into `group_size × group_size` blocks; any block
+/// whose connection count is positive but at most `max_group_density ×
+/// area` has all its connections removed and reported. Diagonal blocks
+/// (a group with itself) are never deleted — they are exactly the dense
+/// cores clustering exists to find.
+///
+/// Cost is O(nnz + groups²/64) time and O(nnz + groups²) bits of memory
+/// (one flag per block pair), never O(n²).
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidSizeLimit`] for `group_size == 0` and
+/// [`ClusterError::InvalidThreshold`] for a density outside `[0, 1]`.
+pub fn group_connection_deletion(
+    net: &ConnectionMatrix,
+    opts: &GroupDeletionOptions,
+) -> Result<(ConnectionMatrix, GroupDeletionReport), ClusterError> {
+    if opts.group_size == 0 {
+        return Err(ClusterError::InvalidSizeLimit { limit: 0 });
+    }
+    if !(0.0..=1.0).contains(&opts.max_group_density) {
+        return Err(ClusterError::InvalidThreshold {
+            value: opts.max_group_density,
+        });
+    }
+    let n = net.neurons();
+    let g = opts.group_size;
+    let groups = n.div_ceil(g);
+    // Pass 1: connection count per block pair.
+    let mut counts = vec![0u32; groups * groups];
+    for (i, j) in net.iter() {
+        counts[(i / g) * groups + j / g] += 1;
+    }
+    // Decide which off-diagonal blocks die.
+    let mut doomed = vec![false; groups * groups];
+    let mut groups_deleted = 0;
+    for gi in 0..groups {
+        let rows = block_extent(gi, g, n);
+        for gj in 0..groups {
+            if gi == gj {
+                continue;
+            }
+            let c = counts[gi * groups + gj];
+            if c == 0 {
+                continue;
+            }
+            let area = (rows * block_extent(gj, g, n)) as f64;
+            if f64::from(c) <= opts.max_group_density * area {
+                doomed[gi * groups + gj] = true;
+                groups_deleted += 1;
+            }
+        }
+    }
+    // Pass 2: strip the doomed connections.
+    let mut compressed = net.clone();
+    let mut deleted = Vec::new();
+    for (i, j) in net.iter() {
+        if doomed[(i / g) * groups + j / g] {
+            // In range by construction — the pair came from `net`.
+            let _ = compressed.disconnect(i, j);
+            deleted.push((i, j));
+        }
+    }
+    Ok((
+        compressed,
+        GroupDeletionReport {
+            groups_deleted,
+            deleted,
+        },
+    ))
+}
+
+/// Number of neurons group `gi` actually spans (the last group may be
+/// short).
+fn block_extent(gi: usize, g: usize, n: usize) -> usize {
+    ((gi + 1) * g).min(n) - gi * g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_net::generators;
+
+    #[test]
+    fn default_options_disable_everything() {
+        let opts = CompressionOptions::default();
+        assert!(!opts.is_enabled());
+        assert!(opts.rank_clip.is_none());
+        assert!(opts.group_deletion.is_none());
+    }
+
+    #[test]
+    fn deletes_sparse_bridge_blocks_only() {
+        // Block-sparse network: dense 64-blocks plus single-connection
+        // bridges. Bridges live in blocks at density 1/64² ≈ 0.02 %, far
+        // below the threshold; the dense diagonal blocks must survive.
+        let (net, blocks) = generators::block_sparse(320, 64, 0.5, 2, 9).unwrap();
+        let (compressed, report) =
+            group_connection_deletion(&net, &GroupDeletionOptions::default()).unwrap();
+        assert!(report.groups_deleted > 0);
+        assert!(!report.deleted.is_empty());
+        assert_eq!(
+            compressed.connections() + report.deleted.len(),
+            net.connections(),
+            "deletion must account for every removed connection"
+        );
+        for &(i, j) in &report.deleted {
+            assert_ne!(blocks[i], blocks[j], "only cross-block bridges die");
+            assert!(!compressed.is_connected(i, j));
+            assert!(net.is_connected(i, j));
+        }
+        // All intra-block connections survive.
+        for (i, j) in net.iter() {
+            if blocks[i] == blocks[j] {
+                assert!(compressed.is_connected(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_blocks_are_never_deleted() {
+        // A single nearly-empty group: density is tiny but the block is
+        // diagonal, so nothing may be removed.
+        let net = ConnectionMatrix::from_pairs(64, [(0, 1), (1, 0)]).unwrap();
+        let (compressed, report) = group_connection_deletion(
+            &net,
+            &GroupDeletionOptions {
+                group_size: 64,
+                max_group_density: 1.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.groups_deleted, 0);
+        assert_eq!(compressed, net);
+    }
+
+    #[test]
+    fn dense_cross_blocks_survive_the_threshold() {
+        // Fully-connected 4-neuron groups in both directions: density 1.0
+        // beats any threshold below 1.0.
+        let mut pairs = Vec::new();
+        for a in 0..4 {
+            for b in 4..8 {
+                pairs.push((a, b));
+                pairs.push((b, a));
+            }
+        }
+        let net = ConnectionMatrix::from_pairs(8, pairs).unwrap();
+        let (compressed, report) = group_connection_deletion(
+            &net,
+            &GroupDeletionOptions {
+                group_size: 4,
+                max_group_density: 0.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.groups_deleted, 0);
+        assert_eq!(compressed, net);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let net = ConnectionMatrix::from_pairs(8, [(0, 1)]).unwrap();
+        assert!(group_connection_deletion(
+            &net,
+            &GroupDeletionOptions {
+                group_size: 0,
+                max_group_density: 0.1
+            }
+        )
+        .is_err());
+        assert!(group_connection_deletion(
+            &net,
+            &GroupDeletionOptions {
+                group_size: 4,
+                max_group_density: 1.5
+            }
+        )
+        .is_err());
+    }
+}

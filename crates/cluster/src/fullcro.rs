@@ -1,3 +1,5 @@
+use std::collections::BTreeMap;
+
 use ncs_net::ConnectionMatrix;
 
 use crate::{ClusterError, CrossbarAssignment, HybridMapping};
@@ -37,30 +39,23 @@ pub fn full_crossbar(net: &ConnectionMatrix, size: usize) -> Result<HybridMappin
         return Err(ClusterError::InvalidSizeLimit { limit: 0 });
     }
     let n = net.neurons();
-    let groups: Vec<Vec<usize>> = (0..n.div_ceil(size))
-        .map(|g| (g * size..((g + 1) * size).min(n)).collect())
-        .collect();
-    let mut crossbars = Vec::new();
-    for gi in &groups {
-        for gj in &groups {
-            let mut connections = Vec::new();
-            for &f in gi {
-                for t in net.fanout_of(f) {
-                    if t / size == gj[0] / size {
-                        connections.push((f, t));
-                    }
-                }
-            }
-            if !connections.is_empty() {
-                crossbars.push(CrossbarAssignment::new(
-                    gi.clone(),
-                    gj.clone(),
-                    size,
-                    connections,
-                ));
-            }
-        }
+    // Single pass over the connections: bucket each one by its (row group,
+    // column group) tile. Rows are scanned in ascending order and fanouts
+    // ascend within a row, so every bucket fills in exactly the order the
+    // old O(groups² · n) rescan produced; the BTreeMap then emits tiles in
+    // the same (gi, gj)-lexicographic order. Total cost is
+    // O(nnz · log(tiles) + occupied tiles), independent of groups².
+    let mut tiles: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+    for (f, t) in net.iter() {
+        tiles.entry((f / size, t / size)).or_default().push((f, t));
     }
+    let group_members = |g: usize| -> Vec<usize> { (g * size..((g + 1) * size).min(n)).collect() };
+    let crossbars = tiles
+        .into_iter()
+        .map(|((gi, gj), connections)| {
+            CrossbarAssignment::new(group_members(gi), group_members(gj), size, connections)
+        })
+        .collect();
     Ok(HybridMapping::new(n, crossbars, Vec::new()))
 }
 

@@ -1,9 +1,24 @@
 use ncs_linalg::DenseMatrix;
 use ncs_net::ConnectionMatrix;
 
+use crate::isc::AUTO_OVERSAMPLE;
 use crate::kmeans::kmeans_with_centroids;
 use crate::msc::EmbeddingSource;
-use crate::{kmeans, spectral_embedding, ClusterError, Clustering};
+use crate::{
+    kmeans, spectral_embedding, spectral_embedding_partial, ClusterError, Clustering,
+    DENSE_EIGEN_MAX_N,
+};
+
+/// Above this neuron count GCP skips the global k-means and produces the
+/// clustering purely by recursive bisection of oversize clusters —
+/// O(n·d·log(n/s)) instead of the O(n·k·d) per Lloyd sweep that turns
+/// quadratic once k grows with n. Far above every paper testbench, so the
+/// small-flow results are untouched.
+pub(crate) const GCP_BISECTION_MIN_N: usize = 1024;
+
+/// Column cap for the standalone [`gcp`] sparse embedding; bounds the
+/// O(n·width) embedding memory when the predicted cluster count is large.
+const GCP_SPARSE_EMBED_MAX: usize = 128;
 
 /// Options for [`gcp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,8 +78,21 @@ impl Default for GcpOptions {
 /// # }
 /// ```
 pub fn gcp(net: &ConnectionMatrix, options: &GcpOptions) -> Result<Clustering, ClusterError> {
+    let n = net.neurons();
+    if n > DENSE_EIGEN_MAX_N {
+        if options.max_cluster_size == 0 {
+            return Err(ClusterError::InvalidSizeLimit { limit: 0 });
+        }
+        // Width budget: enough columns for the predicted cluster count plus
+        // the usual Lanczos oversampling headroom, hard-capped so the
+        // embedding stays O(n), not O(n·k).
+        let k = n.div_ceil(options.max_cluster_size).max(1);
+        let width = (2 * k + AUTO_OVERSAMPLE).min(GCP_SPARSE_EMBED_MAX).min(n);
+        let u = spectral_embedding_partial(net, width, options.seed)?;
+        return gcp_from_embedding(&EmbeddingSource::Partial(u), n, options);
+    }
     let eig = spectral_embedding(net)?;
-    gcp_from_embedding(&EmbeddingSource::Dense(eig), net.neurons(), options)
+    gcp_from_embedding(&EmbeddingSource::Dense(eig), n, options)
 }
 
 /// GCP on a precomputed spectral embedding (shared with ISC, which
@@ -83,6 +111,9 @@ pub(crate) fn gcp_from_embedding(
         return Err(ClusterError::InvalidIterationBudget {
             what: "max_outer_iterations",
         });
+    }
+    if n >= GCP_BISECTION_MIN_N {
+        return gcp_bisection(source, n, options);
     }
     // Step 2: predicted cluster count k = n / s (at least 1).
     let mut k = n.div_ceil(s).max(1);
@@ -148,6 +179,89 @@ pub(crate) fn gcp_from_embedding(
         });
     };
     Ok(Clustering::from_assignment(&assignment, k))
+}
+
+/// Split-only GCP for large networks: start from a single all-neuron
+/// cluster and recursively bisect every oversize cluster on the embedding.
+/// Skipping the global k-means removes the O(n·k·d) Lloyd sweeps that
+/// dominate once `k` grows with `n`, and the balanced spectral cut in
+/// [`spread_split`] replaces the 2-means used on the small-n path — a
+/// 2-means can peel one stray neuron per split off a sparse remainder
+/// network, degenerating into thousands of near-empty clusters, while the
+/// balanced cut shrinks every part geometrically. Total work is
+/// O(n·d·log(n/s)).
+// ncs-lint: hot
+fn gcp_bisection(
+    source: &EmbeddingSource,
+    n: usize,
+    options: &GcpOptions,
+) -> Result<Clustering, ClusterError> {
+    let s = options.max_cluster_size;
+    let u = source.embedding(source.max_k());
+    let mut clusters: Vec<Vec<usize>> = vec![(0..n).collect()];
+    let mut j = 0;
+    while j < clusters.len() {
+        if clusters[j].len() > s {
+            let (a, b) = spread_split(&u, &clusters[j]);
+            clusters[j] = a;
+            clusters.push(b);
+            ncs_trace::add("gcp.splits", 1);
+        } else {
+            j += 1;
+        }
+    }
+    ncs_trace::record("gcp.outer_iterations", 1);
+    Ok(Clustering::new(clusters, n))
+}
+
+/// Deterministic balanced spectral cut: orders `members` by their
+/// coordinate in the embedding column with the largest variance (the
+/// direction along which the cluster is most spread) and cuts at the
+/// largest coordinate gap within the middle half of the ordering. The
+/// gap seeks the natural community boundary; restricting it to the
+/// middle half guarantees both sides keep at least a quarter of the
+/// members, so recursion depth stays logarithmic.
+fn spread_split(u: &DenseMatrix, members: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let len = members.len();
+    debug_assert!(len >= 2, "only oversize clusters are split");
+    let mut best_col = 0usize;
+    let mut best_var = f64::NEG_INFINITY;
+    for c in 0..u.ncols() {
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for &m in members {
+            let v = u[(m, c)];
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / len as f64;
+        let var = sq / len as f64 - mean * mean;
+        if var > best_var {
+            best_var = var;
+            best_col = c;
+        }
+    }
+    let mut order: Vec<usize> = members.to_vec();
+    order.sort_by(|&a, &b| {
+        u[(a, best_col)]
+            .total_cmp(&u[(b, best_col)])
+            .then(a.cmp(&b))
+    });
+    // Cut after the largest gap among positions that leave both sides
+    // with at least len/4 members (and never empty).
+    let lo = (len / 4).max(1);
+    let hi = len - lo;
+    let mut cut = len / 2;
+    let mut best_gap = f64::NEG_INFINITY;
+    for p in lo..=hi.min(len - 1) {
+        let gap = u[(order[p], best_col)] - u[(order[p - 1], best_col)];
+        if gap > best_gap {
+            best_gap = gap;
+            cut = p;
+        }
+    }
+    let b = order.split_off(cut);
+    (order, b)
 }
 
 fn clusters_of(assignment: &[usize], k: usize) -> Vec<Vec<usize>> {
@@ -296,6 +410,39 @@ mod tests {
         let a = gcp(&net, &opts).unwrap();
         let b = gcp(&net, &opts).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_networks_use_the_sparse_bisection_path() {
+        // n = 1100 clears both DENSE_EIGEN_MAX_N (sparse embedding) and
+        // GCP_BISECTION_MIN_N (split-only clustering).
+        let (net, _) = generators::block_sparse(1100, 64, 0.4, 1, 5).unwrap();
+        let opts = GcpOptions {
+            max_cluster_size: 64,
+            ..GcpOptions::default()
+        };
+        let (c, events) = ncs_trace::capture(|| gcp(&net, &opts).unwrap());
+        assert!(c.max_cluster_size() <= 64);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 1100);
+        let report = ncs_trace::TraceReport::from_events(&events);
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.total)
+        };
+        assert!(
+            counter("gcp.splits") >= 16,
+            "split-only path must reach the cluster count by bisection"
+        );
+        assert!(
+            counter("isc.sparse_matvecs") > 0,
+            "embedding above DENSE_EIGEN_MAX_N must be Lanczos-driven"
+        );
+        // Deterministic per seed.
+        let again = gcp(&net, &opts).unwrap();
+        assert_eq!(c, again);
     }
 
     #[test]

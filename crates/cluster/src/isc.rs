@@ -4,17 +4,24 @@ use ncs_net::ConnectionMatrix;
 use crate::gcp::gcp_from_embedding;
 use crate::msc::EmbeddingSource;
 use crate::{
-    crossbar_preference, full_crossbar, min_satisfiable_size, spectral_embedding,
-    spectral_embedding_partial_warm, ClusterError, CpModel, CrossbarAssignment, CrossbarSizeSet,
-    GcpOptions, HybridMapping,
+    crossbar_preference, full_crossbar, group_connection_deletion, min_satisfiable_size,
+    spectral_embedding, spectral_embedding_partial_warm, ClusterError, CompressionOptions, CpModel,
+    CrossbarAssignment, CrossbarSizeSet, GcpOptions, HybridMapping, DENSE_EIGEN_MAX_N,
 };
 
 /// Which eigensolver backs the per-iteration spectral embedding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EigenBackend {
+    /// Pick per network size: [`EigenBackend::Dense`] at or below
+    /// [`DENSE_EIGEN_MAX_N`] neurons (the bit-pinned reference path, and
+    /// where the paper's 300-500 neuron testbenches land), the sparse
+    /// [`EigenBackend::Lanczos`] path (with [`AUTO_OVERSAMPLE`] extra
+    /// columns) above it. The default: small flows stay exactly as
+    /// before, large flows never densify.
+    #[default]
+    Auto,
     /// Full dense decomposition — exact, `O(n³)`; right for the paper's
     /// 300-500 neuron testbenches.
-    #[default]
     Dense,
     /// Sparse Lanczos partial decomposition — `O(k·nnz + k²·n)`; right for
     /// the thousands-of-neurons workloads the paper's introduction
@@ -25,6 +32,29 @@ pub enum EigenBackend {
         /// Extra eigenvector columns beyond `2 · ⌈n / max_size⌉`.
         oversample: usize,
     },
+}
+
+/// Lanczos oversample used when [`EigenBackend::Auto`] routes a network
+/// above [`DENSE_EIGEN_MAX_N`] onto the sparse path.
+pub const AUTO_OVERSAMPLE: usize = 8;
+
+impl EigenBackend {
+    /// The concrete backend `Auto` routes an `n`-neuron network to
+    /// (identity on the explicit variants).
+    pub fn resolve(self, n: usize) -> EigenBackend {
+        match self {
+            EigenBackend::Auto => {
+                if n <= DENSE_EIGEN_MAX_N {
+                    EigenBackend::Dense
+                } else {
+                    EigenBackend::Lanczos {
+                        oversample: AUTO_OVERSAMPLE,
+                    }
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 /// Options for [`Isc`].
@@ -65,6 +95,10 @@ pub struct IscOptions {
     pub warm_start: bool,
     /// GCP inner options (size limit is overridden with `sizes.max()`).
     pub gcp: GcpOptions,
+    /// Group-Scissor-style compression (rank clipping + group connection
+    /// deletion), **off by default**. See
+    /// [`CompressionOptions`](crate::CompressionOptions).
+    pub compression: CompressionOptions,
 }
 
 impl Default for IscOptions {
@@ -80,6 +114,7 @@ impl Default for IscOptions {
             eigensolver: EigenBackend::default(),
             warm_start: true,
             gcp: GcpOptions::default(),
+            compression: CompressionOptions::default(),
         }
     }
 }
@@ -218,7 +253,20 @@ impl Isc {
             None => full_crossbar(net, opts.sizes.max())?.average_utilization(),
         };
         let total = net.connections();
-        let mut remaining = net.clone();
+        // Optional Group-Scissor stage: connections in sparse group blocks
+        // are routed as discrete synapses up front, so clustering only
+        // works the dense cores. Coverage is preserved — the deleted
+        // connections join the outlier list below.
+        let (mut remaining, pre_deleted) = match &opts.compression.group_deletion {
+            Some(gd) => {
+                let (compressed, report) = group_connection_deletion(net, gd)?;
+                ncs_trace::add("compress.groups_deleted", report.groups_deleted as u64);
+                ncs_trace::add("compress.connections_deleted", report.deleted.len() as u64);
+                (compressed, report.deleted)
+            }
+            None => (net.clone(), Vec::new()),
+        };
+        let backend = opts.eigensolver.resolve(net.neurons());
         let mut crossbars: Vec<CrossbarAssignment> = Vec::new();
         let mut iterations = Vec::new();
         let mut stop_reason = StopReason::IterationBudget;
@@ -233,6 +281,10 @@ impl Isc {
         // unchanged count is a complete fingerprint of an unchanged matrix.
         let mut prev_embedding: Option<DenseMatrix> = None;
         let mut prev_connections: Option<usize> = None;
+        // Per-cluster scratch, hoisted so the candidate loop allocates
+        // nothing per cluster (O(n·clusters) zeroing becomes O(n) total).
+        let mut mask = vec![false; remaining.neurons()];
+        let mut active_mask = vec![false; remaining.neurons()];
 
         for m in 1..=opts.max_iterations {
             if remaining.connections() == 0 {
@@ -241,10 +293,25 @@ impl Isc {
             }
             // Line 3: cluster the remaining network with MSC+GCP.
             let n = remaining.neurons();
-            let source = match opts.eigensolver {
-                EigenBackend::Dense => EmbeddingSource::Dense(spectral_embedding(&remaining)?),
+            // `backend` is already resolved, so anything that is not
+            // Lanczos takes the dense reference path.
+            let source = match backend {
+                EigenBackend::Auto | EigenBackend::Dense => {
+                    EmbeddingSource::Dense(spectral_embedding(&remaining)?)
+                }
                 EigenBackend::Lanczos { oversample } => {
-                    let budget = (2 * n.div_ceil(opts.sizes.max()).max(1) + oversample).clamp(1, n);
+                    let mut budget =
+                        (2 * n.div_ceil(opts.sizes.max()).max(1) + oversample).clamp(1, n);
+                    // Rank clipping (Group Scissor): bound the embedding
+                    // width — and with it the O(n·m) Lanczos working set —
+                    // regardless of the predicted cluster count.
+                    if let Some(clip) = opts.compression.rank_clip {
+                        let clipped = budget.min(clip.max(1));
+                        if clipped < budget {
+                            ncs_trace::add("compress.rank_clips", 1);
+                        }
+                        budget = clipped;
+                    }
                     let connections = remaining.connections();
                     let reusable = opts.warm_start && prev_connections == Some(connections);
                     let u = match (&prev_embedding, reusable) {
@@ -292,13 +359,11 @@ impl Isc {
                 cp: f64,
             }
             let mut candidates: Vec<Candidate> = Vec::with_capacity(clustering.len());
-            let mut mask = vec![false; remaining.neurons()];
             for members in clustering.iter() {
                 for &mm in members {
                     mask[mm] = true;
                 }
                 let mut connections = Vec::new();
-                let mut active_mask = vec![false; remaining.neurons()];
                 for &f in members {
                     for t in remaining.fanout_of(f) {
                         if mask[t] {
@@ -308,14 +373,17 @@ impl Isc {
                         }
                     }
                 }
-                for &mm in members {
-                    mask[mm] = false;
-                }
                 let active: Vec<usize> = members
                     .iter()
                     .copied()
                     .filter(|&mm| active_mask[mm])
                     .collect();
+                // Every set entry of both masks is a member, so clearing
+                // over `members` restores the scratch for the next cluster.
+                for &mm in members {
+                    mask[mm] = false;
+                    active_mask[mm] = false;
+                }
                 let size = opts
                     .sizes
                     .smallest_fitting(active.len())
@@ -405,8 +473,10 @@ impl Isc {
             }
         }
 
-        // Line 18: remaining connections become discrete synapses.
-        let outliers: Vec<(usize, usize)> = remaining.iter().collect();
+        // Line 18: remaining connections become discrete synapses, along
+        // with anything the compression stage pre-deleted.
+        let mut outliers: Vec<(usize, usize)> = remaining.iter().collect();
+        outliers.extend(pre_deleted);
         ncs_trace::record("isc.outliers", outliers.len() as u64);
         let mapping = HybridMapping::new(net.neurons(), crossbars, outliers);
         Ok((
@@ -639,6 +709,88 @@ mod tests {
             .find(|c| c.name == "isc.warm_starts")
             .map_or(0, |c| c.total);
         assert!(warm >= 1, "warm starts never engaged: {warm}");
+    }
+
+    #[test]
+    fn auto_backend_is_dense_below_the_threshold() {
+        // structured_net() has 128 neurons, far below DENSE_EIGEN_MAX_N:
+        // the Auto default must reproduce the explicit Dense run bit for
+        // bit (trace and mapping).
+        let net = structured_net();
+        assert_eq!(IscOptions::default().eigensolver, EigenBackend::Auto);
+        let (auto_map, auto_trace) = Isc::new(IscOptions::default()).run_traced(&net).unwrap();
+        let (dense_map, dense_trace) = Isc::new(IscOptions {
+            eigensolver: EigenBackend::Dense,
+            ..IscOptions::default()
+        })
+        .run_traced(&net)
+        .unwrap();
+        assert_eq!(auto_map, dense_map);
+        assert_eq!(auto_trace, dense_trace);
+    }
+
+    #[test]
+    fn backend_resolution_switches_at_the_threshold() {
+        use crate::DENSE_EIGEN_MAX_N;
+        assert_eq!(
+            EigenBackend::Auto.resolve(DENSE_EIGEN_MAX_N),
+            EigenBackend::Dense
+        );
+        assert_eq!(
+            EigenBackend::Auto.resolve(DENSE_EIGEN_MAX_N + 1),
+            EigenBackend::Lanczos {
+                oversample: AUTO_OVERSAMPLE
+            }
+        );
+        let forced = EigenBackend::Lanczos { oversample: 3 };
+        assert_eq!(forced.resolve(4), forced);
+        assert_eq!(EigenBackend::Dense.resolve(100_000), EigenBackend::Dense);
+    }
+
+    #[test]
+    fn group_deletion_preserves_coverage() {
+        // Block-sparse net: the bridges are pre-classified as outliers,
+        // and the mapping still covers every original connection.
+        let (net, blocks) = generators::block_sparse(256, 64, 0.5, 2, 7).unwrap();
+        let opts = IscOptions {
+            compression: crate::CompressionOptions {
+                group_deletion: Some(crate::GroupDeletionOptions::default()),
+                ..crate::CompressionOptions::default()
+            },
+            ..IscOptions::default()
+        };
+        let (mapping, _) = Isc::new(opts).run_traced(&net).unwrap();
+        mapping.verify_covers(&net).unwrap();
+        // At least one deleted bridge must appear among the outliers.
+        assert!(
+            mapping
+                .outliers()
+                .iter()
+                .any(|&(f, t)| blocks[f] != blocks[t]),
+            "no cross-block outlier found"
+        );
+    }
+
+    #[test]
+    fn rank_clip_bounds_the_embedding_and_preserves_coverage() {
+        let net = structured_net();
+        let opts = IscOptions {
+            eigensolver: EigenBackend::Lanczos { oversample: 8 },
+            compression: crate::CompressionOptions {
+                rank_clip: Some(3),
+                ..crate::CompressionOptions::default()
+            },
+            ..IscOptions::default()
+        };
+        let (mapping, events) = ncs_trace::capture(|| Isc::new(opts).run(&net).unwrap());
+        mapping.verify_covers(&net).unwrap();
+        let report = ncs_trace::TraceReport::from_events(&events);
+        let clips = report
+            .counters
+            .iter()
+            .find(|c| c.name == "compress.rank_clips")
+            .map_or(0, |c| c.total);
+        assert!(clips >= 1, "rank clipping never engaged");
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod clustering;
+mod compress;
 mod cp;
 mod error;
 mod fullcro;
@@ -59,6 +60,9 @@ pub mod stats;
 mod traversing;
 
 pub use clustering::Clustering;
+pub use compress::{
+    group_connection_deletion, CompressionOptions, GroupDeletionOptions, GroupDeletionReport,
+};
 pub use cp::{crossbar_preference, min_satisfiable_size, CpModel, CrossbarSizeSet};
 pub use error::ClusterError;
 pub use fullcro::full_crossbar;
@@ -68,6 +72,7 @@ pub use kmeans::{kmeans, KmeansResult};
 pub use mapping::{CrossbarAssignment, HybridMapping};
 pub use msc::{
     msc, spectral_embedding, spectral_embedding_partial, spectral_embedding_partial_warm,
+    DENSE_EIGEN_MAX_N,
 };
 pub use single_shot::single_shot;
 pub use traversing::traversing;

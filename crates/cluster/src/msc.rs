@@ -1,7 +1,15 @@
-use ncs_linalg::{lanczos_largest_seeded, CsrMatrix, DenseMatrix, GeneralizedEigen, Triplet};
+use ncs_linalg::{lanczos_largest_seeded, CsrMatrix, DenseMatrix, GeneralizedEigen};
 use ncs_net::ConnectionMatrix;
 
 use crate::{kmeans, ClusterError, Clustering};
+
+/// Largest network the clustering pipeline hands to the dense QL
+/// eigensolver when no backend is forced. At or below this size the dense
+/// decomposition is both fast and the bit-pinned reference; above it every
+/// spectral embedding goes through the sparse Lanczos path, which never
+/// materializes an `n × n` matrix. The paper's Hopfield testbenches (N ≤
+/// 500) all stay on the dense reference path.
+pub const DENSE_EIGEN_MAX_N: usize = 512;
 
 /// Computes the spectral embedding of a network: the generalized
 /// eigendecomposition of `L u = λ D u` where the similarity `W` is the
@@ -35,7 +43,9 @@ use crate::{kmeans, ClusterError, Clustering};
 pub fn spectral_embedding(net: &ConnectionMatrix) -> Result<GeneralizedEigen, ClusterError> {
     let sym = net.symmetrized();
     let n = sym.neurons();
-    let degrees = sym.degrees();
+    // `sym` is symmetric by construction, so its out-degrees *are* the
+    // undirected node degrees — no second symmetrized copy needed.
+    let degrees: Vec<f64> = sym.out_degrees().into_iter().map(|d| d as f64).collect();
     let mut laplacian = DenseMatrix::zeros(n, n);
     // Each Laplacian row depends only on (sym, degrees), so row chunks
     // fan out across the ncs-par team; the entries are identical at any
@@ -107,6 +117,13 @@ pub fn msc(net: &ConnectionMatrix, k: usize, seed: u64) -> Result<Clustering, Cl
     let n = net.neurons();
     if k == 0 || k > n {
         return Err(ClusterError::InvalidClusterCount { k, points: n });
+    }
+    if n > DENSE_EIGEN_MAX_N {
+        // Sparse-first path: a k-column Lanczos embedding in O(nnz)
+        // memory instead of the dense n×n factorization.
+        let u = spectral_embedding_partial(net, k, seed)?;
+        let result = kmeans(&u, k, seed, 200)?;
+        return Ok(Clustering::from_assignment(&result.assignment, k));
     }
     let eig = spectral_embedding(net)?;
     msc_from_embedding(&eig, k, seed)
@@ -227,19 +244,25 @@ pub fn spectral_embedding_partial_warm(
     if k == 0 || k > n {
         return Err(ClusterError::InvalidClusterCount { k, points: n });
     }
-    let sym = net.symmetrized();
-    let degrees = sym.degrees();
+    // Symmetrize only when needed: the ISC loop feeds symmetric networks
+    // (removal of symmetric clusters preserves symmetry), and skipping
+    // the copy keeps live bitmaps to one per solve at scale.
+    let sym_storage;
+    let sym = if net.is_symmetric() {
+        net
+    } else {
+        sym_storage = net.symmetrized();
+        &sym_storage
+    };
+    let degrees: Vec<f64> = sym.out_degrees().into_iter().map(|d| d as f64).collect();
     let inv_sqrt: Vec<f64> = degrees
         .iter()
         .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 })
         .collect();
     // Normalized adjacency W̃ with entries w_ij·d_i^{-1/2}·d_j^{-1/2};
     // B = I_connected − W̃, and we feed Lanczos C = 2I − B.
-    let triplets: Vec<Triplet> = sym
-        .iter()
-        .map(|(i, j)| Triplet::new(i, j, inv_sqrt[i] * inv_sqrt[j]))
-        .collect();
-    let w_norm = CsrMatrix::from_triplets(n, n, &triplets)?;
+    let w_norm = normalized_adjacency_csr(sym, &inv_sqrt);
+    ncs_trace::record("cluster.laplacian_nnz", w_norm.nnz() as u64);
     let connected: Vec<f64> = degrees
         .iter()
         .map(|&d| if d > 0.0 { 1.0 } else { 0.0 })
@@ -262,6 +285,7 @@ pub fn spectral_embedding_partial_warm(
         |x, y| {
             // Infallible by shape: w_norm is n×n and Lanczos hands us
             // length-n slices.
+            ncs_trace::add("isc.sparse_matvecs", 1);
             w_norm.matvec_into(x, y);
             for i in 0..n {
                 y[i] += (2.0 - connected[i]) * x[i];
@@ -291,6 +315,27 @@ pub fn spectral_embedding_partial_warm(
         }
     }
     Ok(u)
+}
+
+/// Assembles the degree-normalized adjacency `W̃` (entries
+/// `w_ij·d_i^{-1/2}·d_j^{-1/2}`) of an already-symmetric connection
+/// matrix straight into CSR. The bitset's word-level neighbour scan feeds
+/// [`CsrBuilder`](ncs_linalg::CsrBuilder) in row-major order, so the
+/// whole build is O(nnz) — no triplet buffer, no sort, and never a dense
+/// `n × n` intermediate.
+// ncs-lint: hot
+fn normalized_adjacency_csr(sym: &ConnectionMatrix, inv_sqrt: &[f64]) -> CsrMatrix {
+    let n = sym.neurons();
+    let nnz: usize = sym.out_degrees().iter().sum();
+    let mut b = CsrMatrix::builder(n, n, nnz);
+    for i in 0..n {
+        let di = inv_sqrt[i];
+        for j in sym.row_neighbors(i) {
+            b.push(j, di * inv_sqrt[j]);
+        }
+        b.finish_row();
+    }
+    b.finish()
 }
 
 #[cfg(test)]
@@ -436,6 +481,50 @@ mod tests {
                 assert_eq!(cold[(i, j)].to_bits(), warm[(i, j)].to_bits());
             }
         }
+    }
+
+    #[test]
+    fn direct_csr_assembly_matches_triplet_path() {
+        // The O(nnz) builder walk must produce bit-for-bit the matrix the
+        // old sort-based triplet construction did.
+        let (net, _) = generators::planted_clusters(130, 4, 0.4, 0.03, 21).unwrap();
+        let sym = net.symmetrized();
+        let degrees: Vec<f64> = sym.out_degrees().into_iter().map(|d| d as f64).collect();
+        let inv_sqrt: Vec<f64> = degrees
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 })
+            .collect();
+        let direct = normalized_adjacency_csr(&sym, &inv_sqrt);
+        let triplets: Vec<ncs_linalg::Triplet> = sym
+            .iter()
+            .map(|(i, j)| ncs_linalg::Triplet::new(i, j, inv_sqrt[i] * inv_sqrt[j]))
+            .collect();
+        let reference = CsrMatrix::from_triplets(130, 130, &triplets).unwrap();
+        assert_eq!(direct, reference);
+    }
+
+    #[test]
+    fn msc_routes_large_networks_through_the_sparse_path() {
+        // Above DENSE_EIGEN_MAX_N the auto route must still recover
+        // planted structure (and, by construction, never build a dense
+        // n×n Laplacian).
+        let n = DENSE_EIGEN_MAX_N + 48;
+        let (net, truth) = generators::block_sparse(n, 70, 0.5, 1, 3).unwrap();
+        let k = n.div_ceil(70);
+        let c = msc(&net, k, 11).unwrap();
+        let mut correct = 0;
+        for members in c.iter() {
+            let mut counts = vec![0usize; k];
+            for &m in members {
+                counts[truth[m]] += 1;
+            }
+            correct += counts.iter().max().unwrap();
+        }
+        assert!(
+            correct as f64 / n as f64 > 0.85,
+            "purity {}",
+            correct as f64 / n as f64
+        );
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub use eigen::{GeneralizedEigen, SymmetricEigen};
 pub use error::LinalgError;
 pub use lanczos::{lanczos_largest, lanczos_largest_seeded};
 pub use matrix::DenseMatrix;
-pub use sparse::{CsrMatrix, Triplet};
+pub use sparse::{CsrBuilder, CsrMatrix, Triplet};

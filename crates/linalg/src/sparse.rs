@@ -131,6 +131,12 @@ impl CsrMatrix {
         }
     }
 
+    /// Starts a direct row-major build with `nnz_hint` entries
+    /// pre-reserved. See [`CsrBuilder`].
+    pub fn builder(rows: usize, cols: usize, nnz_hint: usize) -> CsrBuilder {
+        CsrBuilder::with_capacity(rows, cols, nnz_hint)
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.rows
@@ -245,6 +251,114 @@ impl CsrMatrix {
             m[(t.row, t.col)] = t.value;
         }
         m
+    }
+}
+
+/// Direct row-major CSR construction without the triplet round-trip.
+///
+/// [`CsrMatrix::from_triplets`] sorts its input (O(nnz log nnz) plus a
+/// second copy of every entry); when the producer already walks entries
+/// in row-major, column-ascending order — e.g. a word-level scan over a
+/// bit-packed connection matrix — this builder appends straight into the
+/// CSR arrays in O(nnz).
+///
+/// # Examples
+///
+/// ```
+/// use ncs_linalg::CsrMatrix;
+///
+/// let mut b = CsrMatrix::builder(2, 3, 2);
+/// b.push(1, 2.0); // row 0
+/// b.finish_row();
+/// b.push(2, 3.0); // row 1
+/// b.finish_row();
+/// let m = b.finish();
+/// assert_eq!(m.get(0, 1), 2.0);
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Starts a build for a `rows × cols` matrix, reserving room for
+    /// `nnz_hint` entries up front so pushes never reallocate when the
+    /// caller knows the count (degrees of a bitset are a popcount away).
+    pub fn with_capacity(rows: usize, cols: usize, nnz_hint: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        CsrBuilder {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: Vec::with_capacity(nnz_hint),
+            values: Vec::with_capacity(nnz_hint),
+        }
+    }
+
+    /// Appends an entry to the current (unfinished) row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all rows are already finished, `col` is out of bounds,
+    /// or `col` does not strictly increase within the row — the builder
+    /// exists for producers that are already row-major and sorted, so a
+    /// violation is a logic error, not a data condition.
+    pub fn push(&mut self, col: usize, value: f64) {
+        assert!(
+            self.row_ptr.len() <= self.rows,
+            "all {} rows already finished",
+            self.rows
+        );
+        assert!(col < self.cols, "column {col} out of bounds");
+        // `row_ptr` starts with one sentinel entry and only ever grows.
+        let row_start = self.row_ptr[self.row_ptr.len() - 1];
+        if self.col_idx.len() > row_start {
+            let prev = self.col_idx[self.col_idx.len() - 1];
+            assert!(prev < col, "columns must strictly increase within a row");
+        }
+        self.col_idx.push(col);
+        self.values.push(value);
+    }
+
+    /// Closes the current row (also used for empty rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all rows are already finished.
+    pub fn finish_row(&mut self) {
+        assert!(
+            self.row_ptr.len() <= self.rows,
+            "all {} rows already finished",
+            self.rows
+        );
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Finalizes the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly `rows` rows were finished.
+    pub fn finish(self) -> CsrMatrix {
+        assert!(
+            self.row_ptr.len() == self.rows + 1,
+            "finished {} of {} rows",
+            self.row_ptr.len() - 1,
+            self.rows
+        );
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
     }
 }
 
@@ -382,6 +496,47 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.row_sums(), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn builder_matches_from_triplets() {
+        let trips = [
+            Triplet::new(0, 1, 2.0),
+            Triplet::new(0, 4, -1.0),
+            Triplet::new(2, 0, 5.0),
+        ];
+        let reference = CsrMatrix::from_triplets(4, 5, &trips).unwrap();
+        let mut b = CsrMatrix::builder(4, 5, trips.len());
+        b.push(1, 2.0);
+        b.push(4, -1.0);
+        b.finish_row();
+        b.finish_row(); // row 1 empty
+        b.push(0, 5.0);
+        b.finish_row();
+        b.finish_row(); // row 3 empty
+        assert_eq!(b.finish(), reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn builder_rejects_unsorted_columns() {
+        let mut b = CsrMatrix::builder(1, 5, 2);
+        b.push(3, 1.0);
+        b.push(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn builder_rejects_unfinished_rows() {
+        let b = CsrMatrix::builder(2, 2, 0);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn builder_rejects_out_of_bounds_column() {
+        let mut b = CsrMatrix::builder(1, 2, 0);
+        b.push(2, 1.0);
     }
 
     #[test]

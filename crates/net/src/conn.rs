@@ -201,7 +201,48 @@ impl ConnectionMatrix {
     /// Panics if `to` is out of range.
     pub fn fanin(&self, to: usize) -> usize {
         assert!(to < self.n, "neuron {to} out of range");
-        (0..self.n).filter(|&i| self.is_connected(i, to)).count()
+        let word = to / 64;
+        let bit = 1u64 << (to % 64);
+        (0..self.n)
+            .filter(|&i| self.bits[i * self.words_per_row + word] & bit != 0)
+            .count()
+    }
+
+    /// Out-degrees of every neuron in one pass: `out_degrees()[i] ==
+    /// fanout(i)`. Popcounts whole words, so the cost is O(n·words) —
+    /// the bulk form the CSR builder uses to size row pointers without
+    /// per-bit probing.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        self.bits
+            .chunks_exact(self.words_per_row)
+            .map(|row| row.iter().map(|w| w.count_ones() as usize).sum())
+            .collect()
+    }
+
+    /// In-degrees of every neuron in one pass: `fanins()[j] == fanin(j)`.
+    /// A single word-level sweep over the bitmap (O(n·words + nnz))
+    /// instead of `n` calls to [`fanin`](Self::fanin) (O(n²) probes).
+    pub fn fanins(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n];
+        for row in 0..self.n {
+            for j in self.row_neighbors(row) {
+                counts[j] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Appends the fan-out targets of `row` to `out` (which is cleared
+    /// first), in ascending order. Word-level scan like
+    /// [`row_neighbors`](Self::row_neighbors), but writing into a caller
+    /// scratch buffer so hot loops can reuse one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_neighbors_into(&self, row: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.row_neighbors(row));
     }
 
     /// `fanin + fanout` of a neuron — the paper's congestion proxy.
@@ -239,38 +280,59 @@ impl ConnectionMatrix {
     /// connection once.
     pub fn degrees(&self) -> Vec<f64> {
         let sym = self.symmetrized();
-        (0..self.n).map(|i| sym.fanout(i) as f64).collect()
+        sym.out_degrees().into_iter().map(|d| d as f64).collect()
+    }
+
+    /// Bit-mask over neuron indices with one bit set per in-range member
+    /// (out-of-range entries and duplicates are ignored).
+    fn member_word_mask(&self, members: &[usize]) -> Vec<u64> {
+        let mut mask = vec![0u64; self.words_per_row];
+        for &m in members {
+            if m < self.n {
+                mask[m / 64] |= 1 << (m % 64);
+            }
+        }
+        mask
     }
 
     /// Number of connections `(i, j)` with both `i` and `j` inside
     /// `members` — the within-cluster connections a crossbar would absorb.
+    ///
+    /// Only member rows are visited, AND-ed word-by-word against the
+    /// member mask: O(|members|·words) instead of a full-matrix scan.
     pub fn connections_within(&self, members: &[usize]) -> usize {
-        let mut mask = vec![false; self.n];
-        for &m in members {
-            if m < self.n {
-                mask[m] = true;
-            }
+        let mask = self.member_word_mask(members);
+        let mut count = 0;
+        for i in mask_rows(&mask, self.n) {
+            let row = &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row];
+            count += row
+                .iter()
+                .zip(&mask)
+                .map(|(w, m)| (w & m).count_ones() as usize)
+                .sum::<usize>();
         }
-        self.iter().filter(|&(i, j)| mask[i] && mask[j]).count()
+        count
     }
 
     /// Removes every connection `(i, j)` with both endpoints in `members`
     /// and returns how many were removed. This is the "delete connections
     /// within Ai from R" step of ISC (Algorithm 3, line 12).
+    ///
+    /// Word-level like [`connections_within`](Self::connections_within):
+    /// each member row is popcounted against the member mask and cleared
+    /// in one pass, so a selected cluster is deleted in
+    /// O(|members|·words) regardless of how large the network is.
     pub fn remove_within(&mut self, members: &[usize]) -> usize {
-        let mut mask = vec![false; self.n];
-        for &m in members {
-            if m < self.n {
-                mask[m] = true;
+        let mask = self.member_word_mask(members);
+        let mut removed = 0;
+        for i in mask_rows(&mask, self.n) {
+            let row = &mut self.bits[i * self.words_per_row..(i + 1) * self.words_per_row];
+            for (w, m) in row.iter_mut().zip(&mask) {
+                removed += (*w & m).count_ones() as usize;
+                *w &= !m;
             }
         }
-        let doomed: Vec<(usize, usize)> =
-            self.iter().filter(|&(i, j)| mask[i] && mask[j]).collect();
-        for &(i, j) in &doomed {
-            // Indices come from self, so they are in range.
-            self.set(i, j, false);
-        }
-        doomed.len()
+        removed
     }
 
     /// Dense `{0,1}` matrix view (used by the spectral embedding).
@@ -361,6 +423,17 @@ impl fmt::Display for ConnectionMatrix {
             self.sparsity() * 100.0
         )
     }
+}
+
+/// Iterator over the set-bit positions (`< n`) of a word-packed mask.
+fn mask_rows(mask: &[u64], n: usize) -> impl Iterator<Item = usize> + '_ {
+    mask.iter()
+        .enumerate()
+        .flat_map(|(wi, &w)| BitIter {
+            word: w,
+            base: wi * 64,
+        })
+        .take_while(move |&b| b < n)
 }
 
 /// Iterator over set-bit positions of a single word.
@@ -487,6 +560,79 @@ mod tests {
         let c = ConnectionMatrix::empty(4).unwrap();
         assert!(a.union(&c).is_err());
         assert!(a.difference(&c).is_err());
+    }
+
+    /// Seeded pseudo-random matrix without going through `generators`
+    /// (keeps these unit tests independent of generator semantics).
+    fn lcg_matrix(n: usize, seed: u64, keep_mod: u64) -> ConnectionMatrix {
+        let mut m = ConnectionMatrix::empty(n).unwrap();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in 0..n {
+            for j in 0..n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state.is_multiple_of(keep_mod) {
+                    m.connect(i, j).unwrap();
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn bulk_degree_kernels_match_naive_bit_probes() {
+        for n in [5, 63, 64, 65, 130] {
+            let m = lcg_matrix(n, n as u64, 7);
+            let naive_out: Vec<usize> = (0..n).map(|i| m.fanout(i)).collect();
+            assert_eq!(m.out_degrees(), naive_out, "out_degrees at n={n}");
+            let naive_in: Vec<usize> = (0..n)
+                .map(|j| (0..n).filter(|&i| m.is_connected(i, j)).count())
+                .collect();
+            assert_eq!(m.fanins(), naive_in, "fanins at n={n}");
+            let mut buf = vec![usize::MAX; 3];
+            for i in 0..n {
+                m.row_neighbors_into(i, &mut buf);
+                let naive: Vec<usize> = m.fanout_of(i).collect();
+                assert_eq!(buf, naive, "row_neighbors_into at n={n} row={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_level_within_kernels_match_naive_scan() {
+        for (n, members) in [
+            (65, vec![0, 1, 63, 64]),
+            (130, vec![5, 5, 128, 129, 7]),
+            (40, vec![]),
+            (40, (0..40).collect::<Vec<_>>()),
+        ] {
+            let m = lcg_matrix(n, 99, 5);
+            // Naive reference: bool mask plus a full-matrix scan, exactly
+            // the pre-word-level implementation.
+            let mut mask = vec![false; n];
+            for &mm in &members {
+                if mm < n {
+                    mask[mm] = true;
+                }
+            }
+            let naive_count = m.iter().filter(|&(i, j)| mask[i] && mask[j]).count();
+            assert_eq!(
+                m.connections_within(&members),
+                naive_count,
+                "connections_within n={n}"
+            );
+            let mut naive_removed = m.clone();
+            let doomed: Vec<(usize, usize)> =
+                m.iter().filter(|&(i, j)| mask[i] && mask[j]).collect();
+            for &(i, j) in &doomed {
+                naive_removed.set(i, j, false);
+            }
+            let mut fast_removed = m.clone();
+            let removed = fast_removed.remove_within(&members);
+            assert_eq!(removed, doomed.len(), "removal count n={n}");
+            assert_eq!(fast_removed, naive_removed, "post-removal bits n={n}");
+        }
     }
 
     #[test]

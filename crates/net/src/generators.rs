@@ -286,6 +286,73 @@ pub fn layered(
     Ok((net, boundaries))
 }
 
+/// A block-sparse network: neurons tiled into consecutive blocks of
+/// `block` neurons, dense symmetric connectivity inside each block
+/// (`inside_density`), plus `bridges_per_block` random bidirectional
+/// single connections from each block to the rest of the network.
+///
+/// Construction cost and connection count are O(n·block), independent of
+/// n² — this is the scale workload for the sparse-first clustering
+/// pipeline (constant average degree, so nnz grows linearly with n).
+/// The inter-block bridges are single connections in otherwise-empty
+/// block pairs, exactly the low-density groups a Group-Scissor-style
+/// group deletion prunes. Returns the network and the planted block id
+/// per neuron.
+///
+/// # Errors
+///
+/// Returns [`NetError::EmptyRequest`] for `n == 0` or `block == 0`, and
+/// [`NetError::InvalidSparsity`] for `inside_density ∉ [0, 1]`.
+pub fn block_sparse(
+    n: usize,
+    block: usize,
+    inside_density: f64,
+    bridges_per_block: usize,
+    seed: u64,
+) -> Result<(ConnectionMatrix, Vec<usize>), NetError> {
+    if block == 0 {
+        return Err(NetError::EmptyRequest { what: "block size" });
+    }
+    if !(0.0..=1.0).contains(&inside_density) {
+        return Err(NetError::InvalidSparsity {
+            value: inside_density,
+        });
+    }
+    let mut net = ConnectionMatrix::empty(n)?;
+    let mut rng = Rng::seed_from_u64(seed);
+    let blocks = n.div_ceil(block);
+    for b in 0..blocks {
+        let start = b * block;
+        let end = ((b + 1) * block).min(n);
+        for a in start..end {
+            for c in (a + 1)..end {
+                if rng.gen_f64() < inside_density {
+                    net.connect(a, c)?;
+                    net.connect(c, a)?;
+                }
+            }
+        }
+    }
+    if blocks > 1 {
+        for b in 0..blocks {
+            let start = b * block;
+            let end = ((b + 1) * block).min(n);
+            for _ in 0..bridges_per_block {
+                let from = rng.gen_range(start..end);
+                // Uniform target outside this block.
+                let mut to = rng.gen_range(0..n - (end - start));
+                if to >= start {
+                    to += end - start;
+                }
+                net.connect(from, to)?;
+                net.connect(to, from)?;
+            }
+        }
+    }
+    let assignment = (0..n).map(|i| i / block).collect();
+    Ok((net, assignment))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +451,43 @@ mod tests {
     fn layered_full_density_is_complete_bipartite() {
         let (net, _) = layered(&[4, 6], 1.0, 0).unwrap();
         assert_eq!(net.connections(), 24);
+    }
+
+    #[test]
+    fn block_sparse_structure() {
+        let (net, blocks) = block_sparse(300, 50, 0.4, 2, 11).unwrap();
+        assert_eq!(net.neurons(), 300);
+        assert!(net.is_symmetric());
+        assert_eq!(blocks.len(), 300);
+        assert_eq!(blocks[49], 0);
+        assert_eq!(blocks[50], 1);
+        // Mostly intra-block: each block contributes at most 2 bridge
+        // edges (4 directed connections), the rest stay inside.
+        let mut within = 0;
+        let mut across = 0;
+        for (i, j) in net.iter() {
+            if blocks[i] == blocks[j] {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > across * 10, "within {within} across {across}");
+        assert!(across > 0, "bridges must connect blocks");
+        // nnz scales with n, not n²: average degree is bounded by the
+        // block size plus the bridge budget.
+        assert!(net.connections() < 300 * 52 * 2);
+        assert!(block_sparse(10, 0, 0.5, 1, 0).is_err());
+        assert!(block_sparse(0, 4, 0.5, 1, 0).is_err());
+        assert!(block_sparse(10, 4, 1.5, 1, 0).is_err());
+    }
+
+    #[test]
+    fn block_sparse_single_block_has_no_bridges() {
+        let (net, blocks) = block_sparse(30, 64, 1.0, 3, 5).unwrap();
+        assert_eq!(blocks, vec![0; 30]);
+        // Complete within the single block, minus the diagonal.
+        assert_eq!(net.connections(), 30 * 29);
     }
 
     #[test]

@@ -573,6 +573,70 @@ fn msc_clustering_is_bit_identical_across_the_laplacian_cutoff() {
 }
 
 #[test]
+fn sparse_lanczos_mapping_matches_the_dense_reference_on_small_networks() {
+    use ncs_cluster::{EigenBackend, Isc, IscOptions};
+    use ncs_net::generators;
+    // Dense-vs-sparse equivalence, end to end: on this robust
+    // two-community instance (decisions verified stable across oversample
+    // budgets in the ncs-cluster unit suite) the approximate Lanczos
+    // pipeline and the Auto router must reproduce the dense reference
+    // mapping exactly — every crossbar, member list, and outlier — at
+    // every tested worker count.
+    let net = generators::planted_clusters(96, 2, 0.8, 0.002, 4)
+        .expect("valid generator spec")
+        .0;
+    let map_with = |backend: EigenBackend, t: usize| {
+        with_thread_override(t, || {
+            Isc::new(IscOptions {
+                eigensolver: backend,
+                ..IscOptions::default()
+            })
+            .run(&net)
+            .expect("mapping succeeds")
+        })
+    };
+    let reference = map_with(EigenBackend::Dense, 1);
+    reference.verify_covers(&net).expect("reference covers");
+    for t in [1usize, 4] {
+        for backend in [
+            EigenBackend::Auto,
+            EigenBackend::Dense,
+            EigenBackend::Lanczos { oversample: 8 },
+        ] {
+            assert_eq!(
+                map_with(backend, t),
+                reference,
+                "{backend:?} mapping diverged from the dense reference at NCS_THREADS={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_clustering_is_bit_identical_across_the_dense_eigen_cutoff() {
+    use ncs_cluster::{msc, DENSE_EIGEN_MAX_N};
+    use ncs_net::generators;
+    // Both sides of the dense/Lanczos routing threshold: 500 neurons take
+    // the bit-pinned dense reference, 550 take the sparse Lanczos path.
+    // On each side the clustering must be bit-identical between the
+    // inline (1-worker) and pooled (4-worker) runs — the sparse path's
+    // chunked CSR matvecs included.
+    const {
+        assert!(500 <= DENSE_EIGEN_MAX_N && DENSE_EIGEN_MAX_N < 550);
+    }
+    for n in [500usize, 550] {
+        let (net, _) = generators::block_sparse(n, 50, 0.5, 1, 11).expect("valid generator spec");
+        let k = n.div_ceil(50);
+        let run = |t: usize| with_thread_override(t, || msc(&net, k, SEED).expect("msc succeeds"));
+        assert_eq!(
+            run(1),
+            run(4),
+            "msc clustering diverged across thread counts at n = {n}"
+        );
+    }
+}
+
+#[test]
 fn par_map_queue_preserves_item_order_across_thread_counts() {
     // The router's speculative planning phase runs on par_map_queue: a
     // shared atomic claim counter hands chunks to whichever worker is
