@@ -17,6 +17,7 @@
 //!   place             incremental detailed swap vs full-recompute reference
 //!   route             windowed A* router vs full-grid Dijkstra reference
 //!   scale             sparse-first gen→cluster→map at 2k-20k neurons
+//!   serve             flow-service cold vs warm latency over real sockets
 //!   xbar              ideal vs IR-drop crossbar evaluation
 //! ```
 //!
@@ -53,6 +54,7 @@ fn main() {
         "place",
         "route",
         "scale",
+        "serve",
         "xbar",
     ];
     let groups: Vec<&str> = if requested.is_empty() {
@@ -71,6 +73,7 @@ fn main() {
             "place" => place_hot_path(),
             "route" => route_hot_path(),
             "scale" => scale(),
+            "serve" => serve(),
             "xbar" => xbar(),
             other => {
                 eprintln!("unknown bench group {other:?}; known: {all:?}");
@@ -543,6 +546,51 @@ fn scale() {
         rows
     );
     report_artifact(&ncs_bench::write_text("BENCH_scale.json", &json));
+}
+
+/// Flow-service benches: the same pinned map job measured cold (the
+/// content-addressed cache is cleared before every request, so each
+/// iteration pays the full clustering run plus the socket round-trip)
+/// and warm (primed once; every timed iteration replays the cached
+/// bytes). Both paths go over a real loopback socket through the same
+/// framed protocol, so the gap is pure cache effect —
+/// `scripts/check_bench_serve.py` gates cold ≥ 10x warm on the
+/// artifact. A `stats` round-trip is timed too as the protocol-overhead
+/// floor.
+fn serve() {
+    use ncs_serve::{MapSpec, ServeClient, ServeOptions, Server};
+
+    println!("[bench] serve");
+    let mut server = Server::bind("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let net = generators::planted_clusters(96, 4, 0.4, 0.01, SEED)
+        .unwrap()
+        .0;
+    let mut net_bytes = Vec::new();
+    ncs_net::io::write_edge_list(&net, &mut net_bytes).unwrap();
+    let spec = MapSpec {
+        net: net_bytes,
+        seed: SEED,
+        max_size: 16,
+    };
+
+    let mut group = BenchGroup::new("serve");
+    group.bench("map_cold", || {
+        client.clear_cache().unwrap();
+        client.map(spec.clone()).unwrap()
+    });
+    // Prime the cache once; every warm iteration must replay the exact
+    // cold bytes (byte identity is the service's contract, so a drift
+    // here is a correctness failure, not a perf artifact).
+    let primed = client.map(spec.clone()).unwrap();
+    group.bench("map_warm", || {
+        let warm = client.map(spec.clone()).unwrap();
+        assert_eq!(warm, primed, "warm response must replay the cold bytes");
+        warm
+    });
+    group.bench("stats_roundtrip", || client.stats().unwrap());
+    report_artifact(&group.write_json());
+    server.shutdown();
 }
 
 /// Benches for the analog crossbar device model: ideal dot product vs the

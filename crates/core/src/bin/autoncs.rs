@@ -42,6 +42,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "map" => cmd_map(rest),
         "compare" => cmd_compare(rest),
         "implement" => cmd_implement(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
             println!("{}", HELP);
             Ok(())
@@ -59,7 +60,10 @@ commands:
       [--trace trace.csv]                         cluster to crossbars
   compare <net.txt> [--seed S]                    AutoNCS vs FullCro costs
   implement <net.txt> [--seed S]
-      [--out-prefix PREFIX]                       full flow + plot artifacts";
+      [--out-prefix PREFIX]                       full flow + plot artifacts
+  serve [--addr HOST:PORT] [--batch N]
+      [--cache-capacity N] [--max-conns N]
+      [--addr-file PATH]                          run the batched flow service";
 
 /// Minimal flag parser: positional arguments plus `--key value` pairs.
 #[derive(Debug)]
@@ -271,6 +275,39 @@ fn cmd_implement(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `serve` flags and binds the daemon (split from [`cmd_serve`]
+/// so tests can start and stop a server without blocking forever).
+fn serve_bind(flags: &Flags) -> Result<autoncs::serve::Server, String> {
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:0");
+    let batch_limit: usize = flags.get_parsed("batch", 16)?;
+    let cache_capacity: usize = flags.get_parsed("cache-capacity", 256)?;
+    let max_connections: usize = flags.get_parsed("max-conns", 0)?;
+    let options = autoncs::serve::ServeOptions {
+        batch_limit,
+        cache_capacity,
+        max_connections: (max_connections > 0).then_some(max_connections),
+        ..autoncs::serve::ServeOptions::default()
+    };
+    let server = autoncs::serve::Server::bind(addr, options).map_err(|e| e.to_string())?;
+    println!("serving on {}", server.local_addr());
+    if let Some(addr_file) = flags.get("addr-file") {
+        std::fs::write(addr_file, format!("{}\n", server.local_addr()))
+            .map_err(|e| format!("cannot write {addr_file}: {e}"))?;
+        println!("wrote {addr_file}");
+    }
+    Ok(server)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let _server = serve_bind(&flags)?;
+    // The daemon runs until the process is killed; the Server's Drop
+    // performs an orderly shutdown if this loop is ever left.
+    loop {
+        std::thread::park();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +415,34 @@ mod tests {
     fn help_prints_without_error() {
         run(&strings(&["--help"])).unwrap();
         run(&strings(&["help"])).unwrap();
+        assert!(HELP.contains("serve"));
+    }
+
+    #[test]
+    fn serve_binds_and_answers_a_stats_request() {
+        let dir = std::env::temp_dir().join("autoncs_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr.txt");
+        let addr_str = addr_file.to_str().unwrap().to_string();
+        let args = strings(&["--cache-capacity", "8", "--addr-file", &addr_str]);
+        let flags = Flags::parse(&args).unwrap();
+        let mut server = serve_bind(&flags).unwrap();
+        let written = std::fs::read_to_string(&addr_file).unwrap();
+        assert_eq!(written.trim(), server.local_addr().to_string());
+        let mut client = autoncs::serve::ServeClient::connect(server.local_addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert!(stats.contains("\"cache\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flag_values() {
+        let args = strings(&["--batch", "not-a-number"]);
+        let flags = Flags::parse(&args).unwrap();
+        match serve_bind(&flags) {
+            Err(message) => assert!(message.contains("--batch"), "{message}"),
+            Ok(_) => panic!("a malformed --batch value must be rejected"),
+        }
     }
 
     #[test]

@@ -122,6 +122,19 @@ impl AutoNcs {
         Ok(Isc::new(self.isc.clone()).run_traced(net)?)
     }
 
+    /// Stage 2 only: place, route and cost a hybrid mapping. Factored
+    /// out of [`AutoNcs::run`] so the stage is callable (and cacheable)
+    /// on its own — the `ncs-serve` daemon keys its content-addressed
+    /// cache per stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physical-design failures.
+    pub fn implement(&self, mapping: &HybridMapping) -> Result<PhysicalDesign, FlowError> {
+        let _span = ncs_trace::span("flow.implement");
+        Ok(implement_mapping(mapping, &self.tech, &self.implement)?)
+    }
+
     /// The full AutoNCS flow: ISC clustering followed by placement,
     /// routing and cost evaluation.
     ///
@@ -131,10 +144,7 @@ impl AutoNcs {
     pub fn run(&self, net: &ConnectionMatrix) -> Result<FlowResult, FlowError> {
         let _span = ncs_trace::span("flow.run");
         let (mapping, trace) = self.map(net)?;
-        let design = {
-            let _span = ncs_trace::span("flow.implement");
-            implement_mapping(&mapping, &self.tech, &self.implement)?
-        };
+        let design = self.implement(&mapping)?;
         Ok(FlowResult {
             mapping,
             trace: Some(trace),
@@ -151,7 +161,7 @@ impl AutoNcs {
     pub fn baseline(&self, net: &ConnectionMatrix) -> Result<FlowResult, FlowError> {
         let _span = ncs_trace::span("flow.baseline");
         let mapping = full_crossbar(net, self.isc.sizes.max())?;
-        let design = implement_mapping(&mapping, &self.tech, &self.implement)?;
+        let design = self.implement(&mapping)?;
         Ok(FlowResult {
             mapping,
             trace: None,
@@ -253,6 +263,17 @@ mod tests {
         let result = AutoNcs::fast().baseline(&net).unwrap();
         assert!(result.trace.is_none());
         assert!(result.mapping.outliers().is_empty());
+    }
+
+    #[test]
+    fn factored_implement_stage_matches_the_composed_run() {
+        let net = generators::planted_clusters(48, 3, 0.4, 0.02, 7).unwrap().0;
+        let framework = AutoNcs::fast();
+        let (mapping, _) = framework.map(&net).unwrap();
+        let staged = framework.implement(&mapping).unwrap();
+        let composed = framework.run(&net).unwrap().design;
+        assert_eq!(staged.placement, composed.placement);
+        assert_eq!(staged.cost.total(), composed.cost.total());
     }
 
     #[test]

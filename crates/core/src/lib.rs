@@ -58,6 +58,8 @@ pub use ncs_linalg as linalg;
 pub use ncs_net as net;
 /// Re-export of [`ncs_phys`].
 pub use ncs_phys as phys;
+/// Re-export of [`ncs_serve`] (the batched flow service).
+pub use ncs_serve as serve;
 /// Re-export of [`ncs_tech`].
 pub use ncs_tech as tech;
 /// Re-export of [`ncs_xbar`].

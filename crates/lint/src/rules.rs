@@ -21,13 +21,15 @@ use crate::syntax::{self, Syntax};
 use crate::{Diagnostic, FileContext, Severity};
 
 /// Crates whose non-test library code must be panic-free.
-pub const PANIC_FREE_CRATES: &[&str] =
-    &["linalg", "cluster", "net", "phys", "xbar", "tech", "core"];
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "linalg", "cluster", "net", "phys", "xbar", "tech", "core", "serve",
+];
 
 /// Flow-path crates where hash collections are banned (iteration order
 /// would leak into mapping/placement/routing statistics).
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["linalg", "cluster", "net", "phys", "xbar", "tech", "core"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "linalg", "cluster", "net", "phys", "xbar", "tech", "core", "serve",
+];
 
 /// Numeric-kernel crates where narrowing `as` casts need a waiver.
 pub const NUMERIC_CRATES: &[&str] = &["linalg", "cluster", "xbar", "phys", "tech"];
@@ -102,15 +104,22 @@ const CRATE_LAYERS: &[(&str, &[&str])] = &[
         &["par", "trace", "linalg", "tech", "cluster", "net", "rng"],
     ),
     (
+        "serve",
+        &[
+            "par", "trace", "linalg", "tech", "cluster", "net", "rng", "phys",
+        ],
+    ),
+    (
         "core",
         &[
-            "par", "trace", "linalg", "tech", "cluster", "net", "xbar", "rng", "phys",
+            "par", "trace", "linalg", "tech", "cluster", "net", "xbar", "rng", "phys", "serve",
         ],
     ),
     (
         "bench",
         &[
             "par", "trace", "linalg", "tech", "cluster", "net", "xbar", "rng", "phys", "core",
+            "serve",
         ],
     ),
 ];

@@ -1,0 +1,277 @@
+//! The content-addressed stage cache.
+//!
+//! Stage results are memoized under their 128-bit content [`Key`]
+//! (see [`crate::job`] for the key derivation). Because every flow
+//! stage is a pure function of (canonical input, options, seed), a
+//! cached value is byte-for-byte the value a fresh run would produce —
+//! the warm-vs-cold bit-identity test in `tests/serve_integration.rs`
+//! holds the cache to exactly that.
+//!
+//! Eviction is strict LRU over a bounded entry count: each entry
+//! carries a monotonically increasing access tick, a `recency` index
+//! maps tick → key, and eviction drops the minimum tick. Both indices
+//! are `BTreeMap`s, so iteration order — and therefore eviction order —
+//! is fully deterministic. Hit/miss/eviction counters are kept natively
+//! per stage and mirrored onto `ncs-trace` counters (visible in the
+//! `stats` dump and under `NCS_TRACE=1`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::hash::Key;
+use crate::job::Stage;
+
+/// One cached stage result.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    value: Arc<Vec<u8>>,
+    stage: Stage,
+    /// Last-access tick (also indexes `StageCache::recency`).
+    tick: u64,
+}
+
+/// Hit/miss/eviction counters for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Lookups that found a cached value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries of this stage dropped by LRU pressure.
+    pub evictions: u64,
+}
+
+/// Point-in-time cache statistics for the `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Entry capacity.
+    pub capacity: usize,
+    /// Total bytes held by live entries.
+    pub bytes: usize,
+    /// Counters per stage, indexed by [`Stage::index`].
+    pub stages: [StageCounters; Stage::COUNT],
+}
+
+/// Bounded, deterministic LRU cache of stage results.
+#[derive(Debug)]
+pub struct StageCache {
+    entries: BTreeMap<Key, CacheEntry>,
+    /// tick → key, the LRU order (min tick = least recently used).
+    recency: BTreeMap<u64, Key>,
+    next_tick: u64,
+    capacity: usize,
+    bytes: usize,
+    stages: [StageCounters; Stage::COUNT],
+}
+
+impl StageCache {
+    /// A cache bounded to `capacity` entries (floored at 1 so an
+    /// insert is never immediately evicted).
+    pub fn new(capacity: usize) -> Self {
+        StageCache {
+            entries: BTreeMap::new(),
+            recency: BTreeMap::new(),
+            next_tick: 0,
+            capacity: capacity.max(1),
+            bytes: 0,
+            stages: [StageCounters::default(); Stage::COUNT],
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        let t = self.next_tick;
+        self.next_tick += 1;
+        t
+    }
+
+    /// Looks up a key, refreshing its recency on a hit. Counts the
+    /// outcome both natively and on the `ncs-trace` counters.
+    pub fn lookup(&mut self, stage: Stage, key: &Key) -> Option<Arc<Vec<u8>>> {
+        let tick = self.bump();
+        if let Some(entry) = self.entries.get_mut(key) {
+            self.recency.remove(&entry.tick);
+            entry.tick = tick;
+            self.recency.insert(tick, *key);
+            self.stages[stage.index()].hits += 1;
+            ncs_trace::add(stage.hit_counter(), 1);
+            Some(Arc::clone(&entry.value))
+        } else {
+            self.stages[stage.index()].misses += 1;
+            ncs_trace::add(stage.miss_counter(), 1);
+            None
+        }
+    }
+
+    /// Counts a hit without touching the entries: used by the scheduler
+    /// when a job within a batch coalesces onto an identical job ahead
+    /// of it — serial submission would have hit the entry that job is
+    /// about to insert, so the counters must say hit.
+    pub fn note_coalesced_hit(&mut self, stage: Stage) {
+        self.stages[stage.index()].hits += 1;
+        ncs_trace::add(stage.hit_counter(), 1);
+    }
+
+    /// Inserts (or refreshes) a value, then evicts least-recently-used
+    /// entries until the capacity bound holds again.
+    pub fn insert(&mut self, stage: Stage, key: Key, value: Arc<Vec<u8>>) {
+        let tick = self.bump();
+        if let Some(old) = self.entries.insert(
+            key,
+            CacheEntry {
+                value: Arc::clone(&value),
+                stage,
+                tick,
+            },
+        ) {
+            self.recency.remove(&old.tick);
+            self.bytes -= old.value.len();
+        }
+        self.recency.insert(tick, key);
+        self.bytes += value.len();
+        while self.entries.len() > self.capacity {
+            let Some((&oldest_tick, &oldest_key)) = self.recency.iter().next() else {
+                break;
+            };
+            self.recency.remove(&oldest_tick);
+            if let Some(victim) = self.entries.remove(&oldest_key) {
+                self.bytes -= victim.value.len();
+                self.stages[victim.stage.index()].evictions += 1;
+                ncs_trace::add(victim.stage.evict_counter(), 1);
+            }
+        }
+    }
+
+    /// Drops every entry, returning how many were live.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        self.recency.clear();
+        self.bytes = 0;
+        n
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys currently cached, in LRU order (least recent first) — used
+    /// by the eviction-order unit tests.
+    pub fn keys_lru_order(&self) -> Vec<Key> {
+        self.recency.values().copied().collect()
+    }
+
+    /// Point-in-time statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.entries.len(),
+            capacity: self.capacity,
+            bytes: self.bytes,
+            stages: self.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::StableHasher;
+
+    fn key(n: u64) -> Key {
+        let mut h = StableHasher::new();
+        h.write_u64(n);
+        h.finish()
+    }
+
+    fn val(n: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![n; 8])
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_counts_exactly() {
+        let mut c = StageCache::new(4);
+        assert!(c.lookup(Stage::Map, &key(1)).is_none());
+        c.insert(Stage::Map, key(1), val(1));
+        let got = c.lookup(Stage::Map, &key(1)).expect("hit");
+        assert_eq!(*got, vec![1; 8]);
+        let s = c.stats();
+        assert_eq!(s.stages[Stage::Map.index()].hits, 1);
+        assert_eq!(s.stages[Stage::Map.index()].misses, 1);
+        assert_eq!(s.stages[Stage::Map.index()].evictions, 0);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, 8);
+    }
+
+    #[test]
+    fn capacity_boundary_holds_exactly() {
+        // Capacity 3: the 3rd insert fits, the 4th evicts.
+        let mut c = StageCache::new(3);
+        for n in 0..3 {
+            c.insert(Stage::Gen, key(n), val(n as u8));
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().stages[Stage::Gen.index()].evictions, 0);
+        c.insert(Stage::Gen, key(3), val(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().stages[Stage::Gen.index()].evictions, 1);
+        // key(0) was the least recently used — it is the victim.
+        assert!(c.lookup(Stage::Gen, &key(0)).is_none());
+        assert!(c.lookup(Stage::Gen, &key(1)).is_some());
+    }
+
+    #[test]
+    fn eviction_order_is_lru_not_insertion() {
+        let mut c = StageCache::new(2);
+        c.insert(Stage::Map, key(1), val(1));
+        c.insert(Stage::Map, key(2), val(2));
+        // Touch key(1) so key(2) becomes the LRU entry.
+        assert!(c.lookup(Stage::Map, &key(1)).is_some());
+        assert_eq!(c.keys_lru_order(), vec![key(2), key(1)]);
+        c.insert(Stage::Map, key(3), val(3));
+        assert!(c.lookup(Stage::Map, &key(2)).is_none(), "LRU entry evicted");
+        assert!(c.lookup(Stage::Map, &key(1)).is_some(), "recent entry kept");
+        assert!(c.lookup(Stage::Map, &key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let mut c = StageCache::new(2);
+        c.insert(Stage::Implement, key(1), val(1));
+        c.insert(Stage::Implement, key(2), val(2));
+        c.insert(Stage::Implement, key(1), Arc::new(vec![9; 4]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().bytes, 8 + 4);
+        // key(2) is now LRU; a new insert evicts it, not key(1).
+        c.insert(Stage::Implement, key(3), val(3));
+        assert!(c.lookup(Stage::Implement, &key(2)).is_none());
+        assert_eq!(
+            *c.lookup(Stage::Implement, &key(1)).expect("kept"),
+            vec![9; 4]
+        );
+    }
+
+    #[test]
+    fn clear_reports_count_and_resets_bytes() {
+        let mut c = StageCache::new(8);
+        c.insert(Stage::Gen, key(1), val(1));
+        c.insert(Stage::Map, key(2), val(2));
+        assert_eq!(c.clear(), 2);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().bytes, 0);
+        assert_eq!(c.clear(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_to_one() {
+        let mut c = StageCache::new(0);
+        c.insert(Stage::Gen, key(1), val(1));
+        assert!(c.lookup(Stage::Gen, &key(1)).is_some());
+    }
+}

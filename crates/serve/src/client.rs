@@ -1,0 +1,184 @@
+//! A small blocking client for the flow service, shared by the CLI,
+//! the bench harness and the integration tests.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, FrameRead, GenSpec,
+    MapSpec, Request, Response,
+};
+
+/// A connected client. One request is in flight at a time (the protocol
+/// is strictly request/response per connection).
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::io("connect", &e))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    /// Connects with a timeout (used by watchdog-style tests).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails or times out.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)
+            .map_err(|e| ServeError::io("connect", &e))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    /// Caps how long any single response read may block.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the socket rejects the option.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ServeError::io("set_read_timeout", &e))
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failures, [`ServeError::Protocol`]
+    /// on malformed response frames, [`ServeError::ServerClosed`] when
+    /// the server closes the stream instead of responding.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &encode_request(request))
+            .map_err(|e| ServeError::io("write request", &e))?;
+        match read_frame(&mut self.stream) {
+            Ok(FrameRead::Payload(payload)) => Ok(decode_response(&payload)?),
+            Ok(FrameRead::Closed) => Err(ServeError::ServerClosed),
+            Err(FrameError::Proto(e)) => Err(ServeError::Protocol(e)),
+            Err(FrameError::Io(e)) => Err(ServeError::io("read response", &e)),
+        }
+    }
+
+    /// Writes raw bytes straight onto the stream — for protocol
+    /// robustness tests that need to send malformed frames.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.stream
+            .write_all(bytes)
+            .map_err(|e| ServeError::io("write raw", &e))?;
+        self.stream
+            .flush()
+            .map_err(|e| ServeError::io("flush raw", &e))
+    }
+
+    /// Reads one response frame without sending anything (pairs with
+    /// [`ServeClient::send_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::request`].
+    pub fn read_response(&mut self) -> Result<Response, ServeError> {
+        match read_frame(&mut self.stream) {
+            Ok(FrameRead::Payload(payload)) => Ok(decode_response(&payload)?),
+            Ok(FrameRead::Closed) => Err(ServeError::ServerClosed),
+            Err(FrameError::Proto(e)) => Err(ServeError::Protocol(e)),
+            Err(FrameError::Io(e)) => Err(ServeError::io("read response", &e)),
+        }
+    }
+
+    /// Shuts down the write half, signalling a mid-frame disconnect
+    /// when called after a partial [`ServeClient::send_raw`].
+    pub fn disconnect_write(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+    }
+
+    /// `gen` convenience: returns the edge-list bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures as for [`ServeClient::request`];
+    /// server-side failures surface as [`ServeError::Parse`]-style
+    /// protocol errors mapped from the error frame.
+    pub fn gen(&mut self, spec: GenSpec) -> Result<Vec<u8>, ServeError> {
+        match self.request(&Request::Gen(spec))? {
+            Response::Net(bytes) => Ok(bytes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `map` convenience: returns the canonical mapping bytes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::gen`].
+    pub fn map(&mut self, spec: MapSpec) -> Result<Vec<u8>, ServeError> {
+        match self.request(&Request::Map(spec))? {
+            Response::Map(bytes) => Ok(bytes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `implement` convenience: returns the canonical design bytes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::gen`].
+    pub fn implement(&mut self, spec: MapSpec) -> Result<Vec<u8>, ServeError> {
+        match self.request(&Request::Implement(spec))? {
+            Response::Implement(bytes) => Ok(bytes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `stats` convenience: returns the JSON text.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::gen`].
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(bytes) => Ok(String::from_utf8_lossy(&bytes).into_owned()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `clear-cache` convenience: returns the dropped-entry count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::gen`].
+    pub fn clear_cache(&mut self) -> Result<u64, ServeError> {
+        match self.request(&Request::ClearCache)? {
+            Response::Cleared { entries } => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// Maps an unexpected (or error) response onto a [`ServeError`].
+fn unexpected(response: &Response) -> ServeError {
+    match response {
+        Response::Error { code, message } => ServeError::Remote {
+            code: *code,
+            message: message.clone(),
+        },
+        other => ServeError::Remote {
+            code: 0,
+            message: format!("unexpected response variant: {other:?}"),
+        },
+    }
+}

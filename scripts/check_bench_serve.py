@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate on the flow-service bench artifact.
+
+Reads a ``BENCH_serve.json`` produced by ``bench serve`` and fails
+(exit 1) unless the warm-cache replay of the pinned map job is at least
+``--factor`` times faster than the cold run (median over median). Both
+runs go over the same loopback socket and framed protocol, so the ratio
+isolates the content-addressed cache: a collapse here means lookups
+stopped hitting (key derivation drift) or the replay path grew real
+work.
+
+The artifact must also carry a ``stats_roundtrip`` entry — the
+protocol-overhead floor. The warm median may not be more than
+``--overhead-mult`` times that floor, which catches a "warm" path that
+quietly recomputes instead of replaying cached bytes.
+
+Usage:
+    check_bench_serve.py [path/to/BENCH_serve.json] [--factor 10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        default="results/BENCH_serve.json",
+        help="bench artifact to check (default: results/BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=10.0,
+        help="minimum acceptable cold/warm median ratio",
+    )
+    parser.add_argument(
+        "--overhead-mult",
+        type=float,
+        default=50.0,
+        help="warm median may be at most this multiple of the stats round-trip",
+    )
+    args = parser.parse_args()
+
+    with open(args.artifact, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    benches = {b["name"]: b for b in data.get("benches", [])}
+    missing = [n for n in ("map_cold", "map_warm", "stats_roundtrip") if n not in benches]
+    if missing:
+        print(f"error: {args.artifact} is missing benches {missing}", file=sys.stderr)
+        return 1
+
+    cold = benches["map_cold"]["median_ns"]
+    warm = benches["map_warm"]["median_ns"]
+    floor = benches["stats_roundtrip"]["median_ns"]
+    if warm <= 0 or floor <= 0:
+        print(f"error: degenerate medians (warm={warm}, floor={floor})", file=sys.stderr)
+        return 1
+
+    ratio = cold / warm
+    overhead = warm / floor
+    print(f"{args.artifact}:")
+    print(f"  map_cold        median {cold / 1e6:10.3f} ms")
+    print(f"  map_warm        median {warm / 1e6:10.3f} ms")
+    print(f"  stats_roundtrip median {floor / 1e6:10.3f} ms")
+    print(f"  cold/warm ratio {ratio:8.1f}x (required >= {args.factor}x)")
+    print(f"  warm/floor      {overhead:8.1f}x (allowed  <= {args.overhead_mult}x)")
+
+    failures = []
+    if ratio < args.factor:
+        failures.append(
+            f"cold/warm ratio {ratio:.1f}x < {args.factor}x — the cache is not"
+            " delivering warm replays"
+        )
+    if overhead > args.overhead_mult:
+        failures.append(
+            f"warm median is {overhead:.1f}x the stats round-trip floor"
+            f" (> {args.overhead_mult}x) — the warm path is doing real work"
+        )
+    if failures:
+        print(file=sys.stderr)
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+
+    print("\nOK: warm cache hits are real")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

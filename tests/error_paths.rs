@@ -16,6 +16,8 @@ use ncs_net::{generators, ConnectionMatrix, NetError};
 use ncs_phys::{
     place, route, ImplementOptions, Netlist, PhysError, PlacerOptions, RouterOptions, Wire,
 };
+use ncs_serve::proto::code as serve_code;
+use ncs_serve::{MapSpec, ProtoError, Request as ServeRequest, ServeError};
 use ncs_tech::TechnologyModel;
 
 const SEED: u64 = 42;
@@ -342,4 +344,132 @@ fn flow_error_chains_are_two_levels_deep_for_wrapped_sources() {
     assert_eq!(level2.to_string(), LinalgError::Empty.to_string());
     assert!(level2.source().is_none());
     assert!(e.to_string().starts_with("clustering stage failed: "));
+}
+
+// ---------------------------------------------------------------- serve
+
+#[test]
+fn serve_proto_errors_pin_display_and_stay_sourceless() {
+    let e = ProtoError::Truncated {
+        context: "length prefix",
+        expected: 4,
+        got: 2,
+    };
+    assert_eq!(
+        e.to_string(),
+        "truncated frame: length prefix needs 4 bytes, got 2"
+    );
+    assert!(e.source().is_none());
+
+    let e = ProtoError::Oversize { len: 1 << 30 };
+    assert!(e.to_string().contains("exceeds"), "{e}");
+
+    let e = ProtoError::BadTag { tag: 0xee };
+    assert_eq!(e.to_string(), "unknown message tag 0xee");
+
+    let e = ProtoError::BadBody {
+        tag: 2,
+        reason: "short body".to_string(),
+    };
+    assert_eq!(e.to_string(), "malformed body for tag 0x02: short body");
+    assert!(e.source().is_none());
+}
+
+#[test]
+fn serve_job_errors_wrap_their_stage_sources() {
+    // Cluster failure surfaced through a prepared job: the ServeError
+    // wraps the ClusterError as its source, one level deep.
+    let e = ServeError::from(ClusterError::InvalidThreshold { value: 2.0 });
+    assert_eq!(
+        e.to_string(),
+        "job failed in clustering: utilization threshold 2 must lie in [0, 1]"
+    );
+    let source = e.source().expect("ServeError::Cluster carries a source");
+    assert_eq!(
+        source.to_string(),
+        "utilization threshold 2 must lie in [0, 1]"
+    );
+    assert!(source.source().is_none());
+
+    let e = ServeError::from(PhysError::InvalidOption {
+        what: "gamma",
+        value: "0".to_string(),
+    });
+    assert_eq!(
+        e.to_string(),
+        "job failed in physical design: invalid option gamma = 0"
+    );
+    assert!(e.source().is_some());
+
+    let e = ServeError::from(NetError::EmptyRequest { what: "neurons" });
+    assert!(e
+        .to_string()
+        .starts_with("generator rejected the request: "));
+    assert!(e.source().is_some());
+
+    let e = ServeError::from(ProtoError::BadTag { tag: 0x7e });
+    assert_eq!(
+        e.to_string(),
+        "protocol violation: unknown message tag 0x7e"
+    );
+    let source = e.source().expect("ServeError::Protocol carries a source");
+    assert_eq!(source.to_string(), "unknown message tag 0x7e");
+}
+
+#[test]
+fn serve_flat_errors_pin_display_and_wire_codes() {
+    let e = ServeError::Parse {
+        message: "line 3: bad edge".to_string(),
+    };
+    assert_eq!(e.to_string(), "network did not parse: line 3: bad edge");
+    assert!(e.source().is_none());
+    assert_eq!(e.wire_code(), serve_code::JOB);
+
+    let e = ServeError::ServerClosed;
+    assert_eq!(e.to_string(), "server is shutting down");
+    assert!(e.source().is_none());
+    assert_eq!(e.wire_code(), serve_code::SHUTDOWN);
+
+    let e = ServeError::Remote {
+        code: 2,
+        message: "job failed".to_string(),
+    };
+    assert_eq!(e.to_string(), "server reported error 2: job failed");
+    assert!(e.source().is_none());
+
+    let proto = ServeError::from(ProtoError::Oversize { len: 1 << 30 });
+    assert_eq!(proto.wire_code(), serve_code::PROTOCOL);
+
+    // Io errors flatten to (context, kind, message) so the type stays
+    // Clone + PartialEq; the original io::Error is not retained.
+    let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer went away");
+    let e = ServeError::io("read", &io);
+    assert_eq!(
+        e.to_string(),
+        "i/o failure during read (ConnectionReset): peer went away"
+    );
+    assert!(e.source().is_none());
+    assert_eq!(e.clone(), e);
+    assert_eq!(e.wire_code(), serve_code::JOB);
+}
+
+#[test]
+fn serve_invalid_jobs_surface_structured_errors_through_prepare() {
+    // A network that does not parse is rejected at prepare time, before
+    // any scheduler work happens.
+    let e = ncs_serve::job::prepare(&ServeRequest::Map(MapSpec {
+        net: b"neurons 4\n0 9\n".to_vec(),
+        seed: SEED,
+        max_size: 16,
+    }))
+    .unwrap_err();
+    assert!(
+        matches!(&e, ServeError::Parse { message } if message.contains('9')),
+        "unexpected error: {e:?}"
+    );
+
+    // Control requests are not jobs: prepare refuses them as protocol
+    // violations rather than panicking.
+    let e = ncs_serve::job::prepare(&ServeRequest::Stats).unwrap_err();
+    assert!(matches!(e, ServeError::Protocol(_)), "{e:?}");
 }
