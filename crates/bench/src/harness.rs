@@ -86,6 +86,18 @@ pub struct StageTime {
     pub total_ns: u128,
 }
 
+/// A named scalar quality metric recorded alongside the timings — final
+/// HPWL, post-legalization overlap, iteration counts. Timings answer "how
+/// fast", metrics answer "did the fast path give up any quality"; the
+/// placement-engine CI gate reads both from the same artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name, unique within its group (e.g. `"engine/nesterov/hpwl_um"`).
+    pub name: String,
+    /// Scalar value (units are part of the name by convention).
+    pub value: f64,
+}
+
 /// A named collection of benchmark results that serializes to one
 /// `BENCH_<group>.json` artifact.
 #[derive(Debug, Clone)]
@@ -99,6 +111,7 @@ pub struct BenchGroup {
     results: Vec<BenchResult>,
     speedups: Vec<Speedup>,
     stages: Vec<StageTime>,
+    metrics: Vec<Metric>,
 }
 
 impl BenchGroup {
@@ -121,6 +134,7 @@ impl BenchGroup {
             results: Vec::new(),
             speedups: Vec::new(),
             stages: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -244,6 +258,28 @@ impl BenchGroup {
         &self.stages
     }
 
+    /// Records a scalar quality metric (computed outside the timed loop);
+    /// it serializes into the optional `metrics` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite value — a NaN in the artifact would turn a
+    /// CI quality gate into a silent pass.
+    pub fn record_metric(&mut self, name: &str, value: f64) -> &Metric {
+        assert!(value.is_finite(), "metric {name:?} must be finite: {value}");
+        println!("  {}/{name}: {value}", self.name);
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value,
+        });
+        self.metrics.last().expect("just pushed")
+    }
+
+    /// Quality metrics recorded so far.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
     /// Hardware threads detected on this host.
     pub fn hardware_threads(&self) -> usize {
         self.hardware_threads
@@ -270,7 +306,9 @@ impl BenchGroup {
     /// The `speedups` array is present only when
     /// [`BenchGroup::bench_speedup`] was used; a `stages` array with
     /// `{"name", "calls", "total_ns"}` entries is present only when
-    /// [`BenchGroup::set_stages`] attached a traced breakdown.
+    /// [`BenchGroup::set_stages`] attached a traced breakdown; a
+    /// `metrics` array with `{"name", "value"}` entries is present only
+    /// when [`BenchGroup::record_metric`] recorded quality numbers.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
@@ -326,6 +364,21 @@ impl BenchGroup {
                     json_string(&s.name),
                     s.calls,
                     s.total_ns
+                );
+            }
+            out.push_str("\n  ]");
+        }
+        if !self.metrics.is_empty() {
+            out.push_str(",\n  \"metrics\": [");
+            for (i, m) in self.metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n    {{\"name\": {}, \"value\": {}}}",
+                    json_string(&m.name),
+                    m.value
                 );
             }
             out.push_str("\n  ]");
@@ -474,6 +527,29 @@ mod tests {
         assert!(json.contains("\"name\": \"flow.map\", \"calls\": 2, \"total_ns\": 1234"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn metrics_section_appears_only_when_recorded() {
+        let mut group = BenchGroup::new("metrics_selftest").samples(1);
+        group.bench("noop", || 1);
+        assert!(!group.to_json().contains("\"metrics\""));
+        group.record_metric("engine/nesterov/hpwl_um", 1234.5);
+        group.record_metric("engine/nesterov/overlap_um2", 0.0);
+        assert_eq!(group.metrics().len(), 2);
+        let json = group.to_json();
+        assert!(json.contains("\"metrics\": ["), "{json}");
+        assert!(json.contains("\"name\": \"engine/nesterov/hpwl_um\", \"value\": 1234.5"));
+        assert!(json.contains("\"name\": \"engine/nesterov/overlap_um2\", \"value\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_metrics_are_rejected() {
+        let mut group = BenchGroup::new("metrics_nan").samples(1);
+        group.record_metric("bad", f64::NAN);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 pub mod harness;
 pub mod memory;
 
-pub use harness::{BenchGroup, BenchResult, Speedup, StageTime};
+pub use harness::{BenchGroup, BenchResult, Metric, Speedup, StageTime};
 
 use std::fs;
 use std::io::Write as _;

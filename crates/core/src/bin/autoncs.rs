@@ -5,7 +5,8 @@
 //!             [--clusters K] [--seed S] --out net.txt
 //! autoncs map <net.txt> [--seed S] [--max-size M] [--trace trace.csv]
 //! autoncs compare <net.txt> [--seed S]
-//! autoncs implement <net.txt> [--seed S] [--out-prefix results/design]
+//! autoncs implement <net.txt> [--seed S] [--placer <reference|nesterov>]
+//!                   [--out-prefix results/design]
 //! ```
 //!
 //! Networks are plain-text edge lists (see [`ncs_net::io`]). `gen` creates
@@ -20,6 +21,7 @@ use std::process::ExitCode;
 use autoncs::{plot, AutoNcs, CostTable};
 use ncs_cluster::{CrossbarSizeSet, IscOptions};
 use ncs_net::{generators, io as netio, ConnectionMatrix};
+use ncs_phys::{ImplementOptions, PlaceAlgorithm, PlacerOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +62,7 @@ commands:
       [--trace trace.csv]                         cluster to crossbars
   compare <net.txt> [--seed S]                    AutoNCS vs FullCro costs
   implement <net.txt> [--seed S]
+      [--placer <reference|nesterov>]
       [--out-prefix PREFIX]                       full flow + plot artifacts
   serve [--addr HOST:PORT] [--batch N]
       [--cache-capacity N] [--max-conns N]
@@ -134,17 +137,35 @@ fn load_net(path: &str) -> Result<ConnectionMatrix, String> {
     netio::read_edge_list(file).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+fn placer_algorithm(flags: &Flags) -> Result<PlaceAlgorithm, String> {
+    match flags.get("placer").unwrap_or("reference") {
+        "reference" | "cg" => Ok(PlaceAlgorithm::CgReference),
+        "nesterov" => Ok(PlaceAlgorithm::Nesterov),
+        other => Err(format!(
+            "unknown --placer {other:?} (expected reference|nesterov)"
+        )),
+    }
+}
+
 fn framework(flags: &Flags) -> Result<AutoNcs, String> {
     let seed: u64 = flags.get_parsed("seed", 42)?;
     let max_size: usize = flags.get_parsed("max-size", 64)?;
     let sizes =
         CrossbarSizeSet::new((16..=max_size.max(16)).step_by(4)).map_err(|e| e.to_string())?;
+    let implement = ImplementOptions {
+        placer: PlacerOptions {
+            algorithm: placer_algorithm(flags)?,
+            ..PlacerOptions::default()
+        },
+        ..ImplementOptions::default()
+    };
     Ok(AutoNcs::builder()
         .isc_options(IscOptions {
             sizes,
             seed,
             ..IscOptions::default()
         })
+        .implement_options(implement)
         .build())
 }
 
@@ -409,6 +430,56 @@ mod tests {
         assert!(placement.starts_with(b"P6\n"));
         let congestion = std::fs::read(format!("{prefix_str}_congestion.ppm")).unwrap();
         assert!(congestion.starts_with(b"P6\n"));
+    }
+
+    #[test]
+    fn implement_accepts_the_nesterov_placer() {
+        let dir = std::env::temp_dir().join("autoncs_cli_placer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.txt");
+        let net_str = net_path.to_str().unwrap().to_string();
+        run(&strings(&[
+            "gen",
+            "--kind",
+            "clusters",
+            "--neurons",
+            "40",
+            "--out",
+            &net_str,
+        ]))
+        .unwrap();
+        let prefix = dir.join("design");
+        let prefix_str = prefix.to_str().unwrap().to_string();
+        run(&strings(&[
+            "implement",
+            &net_str,
+            "--max-size",
+            "16",
+            "--placer",
+            "nesterov",
+            "--out-prefix",
+            &prefix_str,
+        ]))
+        .unwrap();
+        let placement = std::fs::read(format!("{prefix_str}_placement.ppm")).unwrap();
+        assert!(placement.starts_with(b"P6\n"));
+    }
+
+    #[test]
+    fn placer_flag_selects_the_algorithm() {
+        let args = strings(&["net.txt", "--placer", "nesterov"]);
+        let flags = Flags::parse(&args).unwrap();
+        assert_eq!(placer_algorithm(&flags).unwrap(), PlaceAlgorithm::Nesterov);
+        let args = strings(&["net.txt"]);
+        let flags = Flags::parse(&args).unwrap();
+        assert_eq!(
+            placer_algorithm(&flags).unwrap(),
+            PlaceAlgorithm::CgReference
+        );
+        let args = strings(&["net.txt", "--placer", "simulated-annealing"]);
+        let flags = Flags::parse(&args).unwrap();
+        let err = placer_algorithm(&flags).unwrap_err();
+        assert!(err.contains("simulated-annealing"), "{err}");
     }
 
     #[test]

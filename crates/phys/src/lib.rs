@@ -55,7 +55,10 @@ pub use anneal::{place_annealed, AnnealOptions};
 pub use cost::{CostWeights, PhysicalCost};
 pub use error::PhysError;
 pub use netlist::{Cell, CellId, Netlist, Wire, WireId};
-pub use place::{detailed_swap, detailed_swap_reference, place, Placement, PlacerOptions};
+pub use place::{
+    detailed_swap, detailed_swap_reference, place, NesterovOptions, PlaceAlgorithm, Placement,
+    PlacerOptions,
+};
 pub use route::{route, CongestionMap, RouteAlgorithm, RouterOptions, Routing};
 
 use ncs_cluster::HybridMapping;

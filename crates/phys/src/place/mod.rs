@@ -2,9 +2,40 @@ use ncs_linalg::optimize::{minimize, CgOptions};
 
 use crate::{CellId, Netlist, PhysError};
 
+mod density;
+mod legalize;
+mod nesterov;
+
+pub use nesterov::NesterovOptions;
+
+/// Which global-placement engine to run. Mirrors
+/// [`crate::RouteAlgorithm`]: the reference algorithm is bit-pinned by
+/// the determinism suite and stays the default; the fast engine is
+/// opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaceAlgorithm {
+    /// The paper's Algorithm 4: λ-doubling outer loop, conjugate-gradient
+    /// inner solves, O(n²)-pair sigmoid density, push-apart legalization.
+    /// Bit-pinned by the determinism suite.
+    #[default]
+    CgReference,
+    /// ePlace-class engine: grid-binned density field (O(n + m²) per
+    /// evaluation), a single Nesterov loop with inverse-Lipschitz steps
+    /// and a Jacobi preconditioner, and a deterministic macro-Tetris +
+    /// Abacus-row legalizer. Same wirelength model, same netlists,
+    /// bit-identical across `NCS_THREADS` — but not bit-compatible with
+    /// the reference.
+    Nesterov,
+}
+
 /// Options for the analytical placer (Algorithm 4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacerOptions {
+    /// Global-placement engine to use.
+    pub algorithm: PlaceAlgorithm,
+    /// Options for the [`PlaceAlgorithm::Nesterov`] engine (ignored by
+    /// the reference).
+    pub nesterov: NesterovOptions,
     /// Smoothness `γ` of the weighted-average wirelength model, µm.
     /// Smaller values track HPWL more closely but are harder to optimize.
     pub gamma: f64,
@@ -34,6 +65,8 @@ pub struct PlacerOptions {
 impl Default for PlacerOptions {
     fn default() -> Self {
         PlacerOptions {
+            algorithm: PlaceAlgorithm::default(),
+            nesterov: NesterovOptions::default(),
             gamma: 2.0,
             omega: 1.2,
             lambda_multiplier: 2.0,
@@ -181,43 +214,111 @@ pub fn place(netlist: &Netlist, options: &PlacerOptions) -> Result<Placement, Ph
             value: options.lambda_multiplier.to_string(),
         });
     }
+    if options.nesterov.max_iterations == 0 {
+        return Err(PhysError::InvalidOption {
+            what: "nesterov.max_iterations",
+            value: options.nesterov.max_iterations.to_string(),
+        });
+    }
+    if options.nesterov.lambda_growth <= 1.0 {
+        return Err(PhysError::InvalidOption {
+            what: "nesterov.lambda_growth",
+            value: options.nesterov.lambda_growth.to_string(),
+        });
+    }
+    if !(options.nesterov.target_density > 0.0 && options.nesterov.target_density <= 1.0) {
+        return Err(PhysError::InvalidOption {
+            what: "nesterov.target_density",
+            value: options.nesterov.target_density.to_string(),
+        });
+    }
+    if options.nesterov.target_overflow.is_nan() || options.nesterov.target_overflow < 0.0 {
+        return Err(PhysError::InvalidOption {
+            what: "nesterov.target_overflow",
+            value: options.nesterov.target_overflow.to_string(),
+        });
+    }
 
+    let mut placement = match options.algorithm {
+        PlaceAlgorithm::CgReference => place_cg_reference(netlist, options),
+        PlaceAlgorithm::Nesterov => nesterov::place_nesterov(netlist, options),
+    };
+    if options.detailed_swap_passes > 0 {
+        detailed_swap(netlist, &mut placement, options.detailed_swap_passes);
+    }
+    ncs_trace::record(
+        "place.overlap_um2",
+        placement.final_overlap_um2.round() as u64,
+    );
+    Ok(placement)
+}
+
+/// The paper's Algorithm 4 (the bit-pinned reference engine): λ-doubling
+/// outer loop over conjugate-gradient inner solves of `WL + λ·D` with
+/// the pairwise sigmoid density, then push-apart legalization.
+fn place_cg_reference(netlist: &Netlist, options: &PlacerOptions) -> Placement {
+    let n = netlist.cells.len();
     // Line 1 of Algorithm 4: initialize cells at regular grid locations.
     let (mut xs, mut ys) = initial_grid(netlist, options.omega);
 
     let total_area = netlist.total_cell_area().max(1e-9);
     let stop_overlap = options.overlap_stop_fraction * total_area;
 
-    // λ0 = Σ|∂WL| / Σ|∂D| at the initial placement.
+    // λ0 = Σ|∂WL| / Σ|∂D| at the initial placement. A spread start can
+    // have *no* density pressure at all (every pairwise potential at
+    // zero): in that degenerate case the density term is skipped
+    // outright (λ = 0) instead of silently pinned to a fake λ = 1, and
+    // λ is re-estimated at each outer iteration until the wirelength
+    // pull creates real overlap to push against.
     let mut grad_wl = vec![0.0; 2 * n];
     let mut grad_d = vec![0.0; 2 * n];
     let point: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
     wa_wirelength(netlist, &point, options.gamma, Some(&mut grad_wl[..]));
     density(netlist, &point, options.omega, Some(&mut grad_d[..]));
-    let sum_wl: f64 = grad_wl.iter().map(|g| g.abs()).sum();
-    let sum_d: f64 = grad_d.iter().map(|g| g.abs()).sum();
-    let mut lambda = if sum_d > 0.0 { sum_wl / sum_d } else { 1.0 };
-    if !lambda.is_finite() || lambda <= 0.0 {
-        lambda = 1.0;
-    }
+    let mut lambda = match initial_lambda(&grad_wl, &grad_d) {
+        Some(l) => l,
+        None => {
+            ncs_trace::add("place.lambda_density_skips", 1);
+            0.0
+        }
+    };
 
     // Lines 2-6: escalate λ until overlap is under control.
     let mut outer = 0;
     for _ in 0..options.max_outer_iterations {
         outer += 1;
         let p0: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        // ncs-lint: allow(float-eq) — λ = 0.0 is an exact sentinel for "density skipped", never a computed value
+        if lambda == 0.0 {
+            // Degenerate start: try again from the current placement.
+            grad_wl.fill(0.0);
+            grad_d.fill(0.0);
+            wa_wirelength(netlist, &p0, options.gamma, Some(&mut grad_wl[..]));
+            density(netlist, &p0, options.omega, Some(&mut grad_d[..]));
+            if let Some(l) = initial_lambda(&grad_wl, &grad_d) {
+                lambda = l;
+            } else {
+                ncs_trace::add("place.lambda_density_skips", 1);
+            }
+        }
         let gamma = options.gamma;
         let omega = options.omega;
+        let lam = lambda;
         let result = minimize(
             |p, grad| {
                 grad.fill(0.0);
                 let wl = wa_wirelength(netlist, p, gamma, Some(grad));
+                // ncs-lint: allow(float-eq) — same exact sentinel as above
+                if lam == 0.0 {
+                    // Density pressure known absent: pure wirelength.
+                    return wl;
+                }
                 let mut gd = vec![0.0; p.len()];
                 let d = density(netlist, p, omega, Some(&mut gd[..]));
                 for (g, gd) in grad.iter_mut().zip(&gd) {
-                    *g += lambda * gd;
+                    *g += lam * gd;
                 }
-                wl + lambda * d
+                wl + lam * d
             },
             p0,
             &options.cg,
@@ -228,20 +329,32 @@ pub fn place(netlist: &Netlist, options: &PlacerOptions) -> Result<Placement, Ph
         if overlap_area(netlist, &xs, &ys) <= stop_overlap {
             break;
         }
-        lambda *= options.lambda_multiplier;
+        if lambda > 0.0 {
+            lambda *= options.lambda_multiplier;
+        }
     }
     ncs_trace::record("place.outer_iterations", outer as u64);
 
     // Line 7: process the remaining overlap, then normalize.
-    let mut placement = finalize_placement(netlist, xs, ys, options.legalizer_passes, outer);
-    if options.detailed_swap_passes > 0 {
-        detailed_swap(netlist, &mut placement, options.detailed_swap_passes);
+    finalize_placement(netlist, xs, ys, options.legalizer_passes, outer)
+}
+
+/// λ0 = Σ|∂WL| / Σ|∂D|, or `None` when there is no density gradient to
+/// balance against (the structured condition for the degenerate spread
+/// start — callers decide how to proceed instead of inheriting a
+/// meaningless λ).
+fn initial_lambda(grad_wl: &[f64], grad_d: &[f64]) -> Option<f64> {
+    let sum_wl: f64 = grad_wl.iter().map(|g| g.abs()).sum();
+    let sum_d: f64 = grad_d.iter().map(|g| g.abs()).sum();
+    if sum_d <= 0.0 {
+        return None;
     }
-    ncs_trace::record(
-        "place.overlap_um2",
-        placement.final_overlap_um2.round() as u64,
-    );
-    Ok(placement)
+    let lambda = sum_wl / sum_d;
+    if lambda.is_finite() && lambda > 0.0 {
+        Some(lambda)
+    } else {
+        None
+    }
 }
 
 /// Cells incident to each wire, and footprint groups of swappable cells,
@@ -561,8 +674,19 @@ pub(crate) fn finalize_placement(
     outer_iterations: usize,
 ) -> Placement {
     legalize_mixed_size(netlist, &mut xs, &mut ys, legalizer_passes);
+    shift_to_positive_quadrant(netlist, &mut xs, &mut ys);
+    let final_overlap = overlap_area(netlist, &xs, &ys);
+    Placement {
+        x: xs,
+        y: ys,
+        outer_iterations,
+        final_overlap_um2: final_overlap,
+    }
+}
 
-    // Normalize to the positive quadrant for readability.
+/// Normalizes a placement to the positive quadrant for readability
+/// (shared by both engines' epilogues).
+fn shift_to_positive_quadrant(netlist: &Netlist, xs: &mut [f64], ys: &mut [f64]) {
     let min_x = netlist
         .cells
         .iter()
@@ -573,19 +697,11 @@ pub(crate) fn finalize_placement(
         .iter()
         .map(|c| ys[c.id] - c.dims.height / 2.0)
         .fold(f64::INFINITY, f64::min);
-    for x in &mut xs {
+    for x in xs.iter_mut() {
         *x -= min_x;
     }
-    for y in &mut ys {
+    for y in ys.iter_mut() {
         *y -= min_y;
-    }
-
-    let final_overlap = overlap_area(netlist, &xs, &ys);
-    Placement {
-        x: xs,
-        y: ys,
-        outer_iterations,
-        final_overlap_um2: final_overlap,
     }
 }
 
@@ -1349,6 +1465,50 @@ mod tests {
         let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
         let p = place(&nl, &PlacerOptions::fast()).unwrap();
         assert!(p.final_overlap_um2 < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lambda_start_is_skipped_not_faked() {
+        // Small cells on the initial grid sit outside each other's bell
+        // support: Σ|∂D| = 0 and no λ can be balanced. The placer used
+        // to silently pin λ = 1; it must now skip the density term as a
+        // structured condition (observable via the trace counter) and
+        // re-engage it once the wirelength pull creates real overlap.
+        let mapping = HybridMapping::new(6, vec![], vec![(0, 1), (2, 3), (4, 5)]);
+        let nl = Netlist::from_mapping(&mapping, &TechnologyModel::nm45());
+        let (gx, gy) = initial_grid(&nl, 1.2);
+        let n = nl.cells.len();
+        let p0: Vec<f64> = gx.iter().chain(gy.iter()).copied().collect();
+        let mut grad_d = vec![0.0; 2 * n];
+        density(&nl, &p0, 1.2, Some(&mut grad_d[..]));
+        assert!(
+            grad_d.iter().all(|&g| g == 0.0),
+            "precondition: the spread grid must have no density gradient"
+        );
+        assert_eq!(initial_lambda(&[1.0, 2.0], &grad_d), None);
+        let ((), events) = ncs_trace::capture(|| {
+            let placement = place(&nl, &PlacerOptions::fast()).unwrap();
+            assert!(placement.final_overlap_um2 < 1e-6);
+        });
+        let report = ncs_trace::TraceReport::from_events(&events);
+        let skips = report
+            .counters
+            .iter()
+            .find(|c| c.name == "place.lambda_density_skips")
+            .map_or(0, |c| c.total);
+        assert!(skips > 0, "the degenerate start must be surfaced");
+        // A non-degenerate start must not fire the counter.
+        let ((), events) = ncs_trace::capture(|| {
+            place(&small_netlist(), &PlacerOptions::fast()).unwrap();
+        });
+        let report = ncs_trace::TraceReport::from_events(&events);
+        assert!(
+            !report
+                .counters
+                .iter()
+                .any(|c| c.name == "place.lambda_density_skips"),
+            "crossbar netlists have density pressure at the start"
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Gate on the analytical-placer engine contest in the place bench.
+
+Reads a ``BENCH_place.json`` produced by ``bench place`` and fails
+(exit 1) unless the Nesterov engine demonstrably beats the CG
+reference placer without giving up quality:
+
+* **Speed**: on the hybrid128 workload the Nesterov median wall-clock
+  must be at least ``--min-speedup`` times faster than the CG
+  reference (default 5.0 -- the whole point of replacing the
+  lambda-doubling CG outer loop is to stop re-solving the quadratic
+  system from scratch every pressure step).
+* **Quality**: the Nesterov post-legalization HPWL on hybrid128 must
+  be at most ``--max-hpwl-ratio`` of the CG reference HPWL (default
+  1.01 -- the fast engine is not allowed to buy its speed with
+  wirelength).
+* **Legality**: post-legalization overlap must be at most
+  ``--max-overlap-um2`` (default 1e-6 um^2) on every Nesterov
+  workload, including the 5k-neuron block-sparse netlist. The
+  row-based legalizer is structurally overlap-free; any residue means
+  a cell escaped it.
+
+Usage:
+    check_bench_placer.py [path/to/BENCH_place.json] [--min-speedup 5.0]
+"""
+
+import argparse
+import json
+import sys
+
+CG = "engine/cg_reference/hybrid128"
+NESTEROV = "engine/nesterov/hybrid128"
+NESTEROV_5K = "engine/nesterov/block_sparse_5k"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        default="results/BENCH_place.json",
+        help="bench artifact to check (default: results/BENCH_place.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="minimum hybrid128 wall-clock ratio cg_reference / nesterov",
+    )
+    parser.add_argument(
+        "--max-hpwl-ratio",
+        type=float,
+        default=1.01,
+        help="maximum hybrid128 HPWL ratio nesterov / cg_reference",
+    )
+    parser.add_argument(
+        "--max-overlap-um2",
+        type=float,
+        default=1e-6,
+        help="maximum post-legalization overlap on any nesterov workload",
+    )
+    args = parser.parse_args()
+
+    with open(args.artifact, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    benches = {b["name"]: b for b in data.get("benches", [])}
+    metrics = {m["name"]: m["value"] for m in data.get("metrics", [])}
+
+    missing = [
+        name
+        for name in (CG, NESTEROV, NESTEROV_5K)
+        if name not in benches
+    ] + [
+        name
+        for name in (
+            f"{CG}/hpwl_um",
+            f"{NESTEROV}/hpwl_um",
+            f"{NESTEROV}/overlap_um2",
+            f"{NESTEROV_5K}/hpwl_um",
+            f"{NESTEROV_5K}/overlap_um2",
+        )
+        if name not in metrics
+    ]
+    if missing:
+        for name in missing:
+            print(f"error: {args.artifact} is missing '{name}'", file=sys.stderr)
+        return 1
+
+    cg_ns = benches[CG]["median_ns"]
+    nv_ns = benches[NESTEROV]["median_ns"]
+    speedup = cg_ns / nv_ns if nv_ns else float("inf")
+    hpwl_ratio = metrics[f"{NESTEROV}/hpwl_um"] / metrics[f"{CG}/hpwl_um"]
+
+    print(
+        f"{args.artifact}: samples={benches[NESTEROV]['samples']} "
+        f"hardware_threads={data.get('hardware_threads', '?')}"
+    )
+    print(
+        f"hybrid128: cg_reference {cg_ns / 1e6:.1f} ms, "
+        f"nesterov {nv_ns / 1e6:.1f} ms -> speedup {speedup:.2f}x "
+        f"(limit >= {args.min_speedup}x)"
+    )
+    print(
+        f"hybrid128 HPWL: cg_reference {metrics[f'{CG}/hpwl_um']:.1f} um, "
+        f"nesterov {metrics[f'{NESTEROV}/hpwl_um']:.1f} um -> ratio "
+        f"{hpwl_ratio:.3f} (limit <= {args.max_hpwl_ratio})"
+    )
+    print(
+        f"block_sparse_5k: nesterov {benches[NESTEROV_5K]['median_ns'] / 1e6:.1f} ms, "
+        f"HPWL {metrics[f'{NESTEROV_5K}/hpwl_um']:.0f} um"
+    )
+
+    failures = []
+    if speedup < args.min_speedup:
+        failures.append(
+            f"hybrid128 speedup {speedup:.2f}x is below the "
+            f"{args.min_speedup}x floor -- the Nesterov engine has slowed down"
+        )
+    if hpwl_ratio > args.max_hpwl_ratio:
+        failures.append(
+            f"hybrid128 HPWL ratio {hpwl_ratio:.3f} exceeds "
+            f"{args.max_hpwl_ratio} -- the fast engine is trading wirelength for speed"
+        )
+    for workload in (NESTEROV, NESTEROV_5K):
+        overlap = metrics[f"{workload}/overlap_um2"]
+        print(f"{workload} overlap: {overlap:.3e} um^2")
+        if overlap > args.max_overlap_um2:
+            failures.append(
+                f"{workload} post-legalization overlap {overlap:.3e} um^2 "
+                f"exceeds {args.max_overlap_um2:g} -- the legalizer left cells overlapping"
+            )
+
+    if failures:
+        print(file=sys.stderr)
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+
+    print(
+        f"OK: nesterov is {speedup:.1f}x faster at {hpwl_ratio:.2f}x the "
+        "reference HPWL with overlap-free legalization"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -361,6 +361,45 @@ fn routing_order_is_unchanged_by_the_squared_distance_comparison() {
 }
 
 #[test]
+fn nesterov_placement_is_bit_identical_across_thread_counts() {
+    // The same thread-count contract for the second placement engine:
+    // the Nesterov flow — grid-binned density gradients, Lipschitz
+    // backtracking, row-based legalization — folds its gradient terms
+    // in chunk order, so every coordinate must come out bit-identical
+    // whether the ncs-par kernels run on one worker or four.
+    use ncs_phys::{place, PlaceAlgorithm, PlacerOptions};
+    let tb = Testbench::from_spec(spec(), SEED).expect("valid spec");
+    let framework = AutoNcs::fast();
+    let result = framework.run(tb.network()).expect("flow succeeds");
+    let netlist = &result.design.netlist;
+    let options = PlacerOptions {
+        algorithm: PlaceAlgorithm::Nesterov,
+        ..PlacerOptions::default()
+    };
+    let place_at = |t: usize| {
+        with_thread_override(t, || place(netlist, &options).expect("placement succeeds"))
+    };
+    let serial = place_at(1);
+    let pooled = place_at(4);
+    assert_eq!(
+        f64_bits(&serial.x),
+        f64_bits(&pooled.x),
+        "Nesterov x coordinates diverged between NCS_THREADS=1 and 4"
+    );
+    assert_eq!(
+        f64_bits(&serial.y),
+        f64_bits(&pooled.y),
+        "Nesterov y coordinates diverged between NCS_THREADS=1 and 4"
+    );
+    // And the engine did real work: the legalized result is overlap-free.
+    assert!(
+        serial.final_overlap_um2 < 1e-6,
+        "the row-based legalizer must leave zero overlap, got {}",
+        serial.final_overlap_um2
+    );
+}
+
+#[test]
 fn incremental_detailed_swap_matches_reference_on_the_flow() {
     // The incremental bounding-box bookkeeping in detailed_swap must make
     // exactly the same accept/reject decisions as the full-HPWL-recompute
